@@ -1,0 +1,63 @@
+// Anomaly detection: the paper's RQ3 pipeline end to end. Generates a
+// session-structured HDFS log with injected failures, parses it with a
+// tuned parser, runs the PCA detector of Xu et al. (SOSP 2009), and scores
+// the verdicts against the injected labels — then repeats with the exact
+// ground-truth parse to show how parsing errors change the outcome.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"logparse"
+)
+
+func main() {
+	data, err := logparse.GenerateHDFSSessions(logparse.HDFSSessionOptions{
+		Seed:        7,
+		Sessions:    4000,
+		AnomalyRate: 0.0293,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HDFS log: %d lines, %d block sessions, %d injected anomalies\n\n",
+		len(data.Messages), 4000, data.NumAnomalies())
+
+	run := func(label string, parsed *logparse.Result) {
+		res, err := logparse.DetectAnomalies(data.Messages, parsed, logparse.DefaultAnomalyOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := logparse.EvaluateAnomalies(res, data.Labels)
+		fmt.Printf("%-14s reported=%-5d detected=%d (%.0f%% of anomalies) false alarms=%d\n",
+			label, rep.Reported, rep.Detected, 100*rep.DetectedRate(), rep.FalseAlarms)
+	}
+
+	// A support-thresholded parser: rare failure events fall below support
+	// and get binned with rare benign events, producing false alarms.
+	slct, err := logparse.NewParser("SLCT", logparse.Options{SupportFrac: 0.0028})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parsed, err := slct.Parse(data.Messages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("SLCT", parsed)
+
+	iplom, err := logparse.NewParser("IPLoM", logparse.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parsed, err = iplom.Parse(data.Messages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("IPLoM", parsed)
+
+	run("Ground truth", logparse.GroundTruthResult(data.Messages))
+	fmt.Println("\nFinding 6: comparable parsing accuracy can still differ by an order")
+	fmt.Println("of magnitude in false alarms — log mining is sensitive to parsing")
+	fmt.Println("errors on critical (rare) events.")
+}

@@ -1,0 +1,106 @@
+package logparse
+
+import (
+	"io"
+
+	"logparse/internal/match"
+	"logparse/internal/mining/deployver"
+	"logparse/internal/mining/synoptic"
+	"logparse/internal/parsers/parallel"
+	"logparse/internal/parsers/slct"
+)
+
+// StreamResult is the outcome of a streaming SLCT parse: templates plus a
+// compact per-line assignment (−1 = outlier). Message contents are never
+// retained, so logs larger than memory parse in two sequential scans.
+type StreamResult = slct.StreamResult
+
+// ParseStreamSLCT runs two-pass SLCT over a re-openable source (open is
+// called once per pass) with bounded memory. epsilon > 0 additionally
+// bounds the vocabulary pass with Manku–Motwani lossy counting at that
+// error rate; 0 keeps exact counting.
+func ParseStreamSLCT(open func() (io.ReadCloser, error), opts Options, epsilon float64) (*StreamResult, error) {
+	p := slct.New(slct.Options{Support: opts.Support, SupportFrac: opts.SupportFrac})
+	return p.ParseStream(open, slct.StreamOptions{
+		Options:      slct.Options{Support: opts.Support, SupportFrac: opts.SupportFrac},
+		VocabEpsilon: epsilon,
+	})
+}
+
+// Matcher applies an extracted template set to new log messages in
+// O(message length) — the online half of the toolkit: parsers mine
+// templates offline, a Matcher types live traffic in the ingest path.
+type Matcher = match.Matcher
+
+// ErrNoMatch is returned by Matcher.Match when no template covers a
+// message.
+var ErrNoMatch = match.ErrNoMatch
+
+// NewMatcher builds a matcher from a parse result's templates.
+func NewMatcher(res *Result) (*Matcher, error) { return match.FromResult(res) }
+
+// Extensions beyond the paper's core study: the §V "potential direction"
+// of distributed parsing, and the two additional §III-A log-mining tasks
+// (deployment verification, system-model construction).
+
+// NewParallelParser wraps an algorithm in the shard-and-merge harness of
+// §V's distributed-parsing direction: the input is split into shards
+// parsed concurrently, and per-shard templates are merged by identity.
+// shards ≤ 0 uses GOMAXPROCS.
+func NewParallelParser(algorithm string, shards int, opts Options) (Parser, error) {
+	// Validate the configuration once up front.
+	if _, err := NewParser(algorithm, opts); err != nil {
+		return nil, err
+	}
+	return parallel.New(algorithm, shards, func(shard int) Parser {
+		o := opts
+		o.Seed = opts.Seed + int64(shard)
+		p, err := NewParser(algorithm, o)
+		if err != nil {
+			// Unreachable: the configuration was validated above and
+			// NewParser is deterministic in (algorithm, opts).
+			panic(err)
+		}
+		return p
+	}), nil
+}
+
+// Deployment verification (Shang et al., ICSE 2013).
+type (
+	// DeployResult summarises a deployment-verification run.
+	DeployResult = deployver.Result
+	// DeployDivergence is one deployed session with an unseen sequence.
+	DeployDivergence = deployver.Divergence
+)
+
+// VerifyDeployment compares per-session event sequences between a baseline
+// (pseudo-cloud) log and a deployment log, reporting only the deployed
+// sessions whose sequence never occurs in the baseline.
+func VerifyDeployment(baseline, deployed []Message, parser Parser) (*DeployResult, error) {
+	return deployver.Verify(baseline, deployed, parser)
+}
+
+// System-model construction (Beschastnikh et al., ESEC/FSE 2011).
+type (
+	// FSMModel is a k-tails finite-state model over event types.
+	FSMModel = synoptic.Model
+	// TemporalInvariant is one mined AFby/AP/NFby property.
+	TemporalInvariant = synoptic.Invariant
+)
+
+// EventTraces groups parsed messages into per-session event-ID sequences.
+func EventTraces(msgs []Message, parsed *Result) [][]string {
+	return synoptic.TracesFromParse(msgs, parsed)
+}
+
+// MineInvariants mines Synoptic's three temporal invariant kinds over
+// event traces.
+func MineInvariants(traces [][]string) ([]TemporalInvariant, error) {
+	return synoptic.MineInvariants(traces)
+}
+
+// BuildModel constructs a finite-state model from event traces by k-tails
+// merging.
+func BuildModel(traces [][]string, k int) (*FSMModel, error) {
+	return synoptic.BuildModel(traces, k)
+}

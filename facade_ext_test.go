@@ -1,0 +1,103 @@
+package logparse
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderRawLinesAndStripHeader(t *testing.T) {
+	cat, err := Dataset("HDFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := cat.Generate(1, 50)
+	start := time.Date(2008, 11, 9, 20, 0, 0, 0, time.UTC)
+	lines, err := RenderRawLines("HDFS", msgs, 7, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 50 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	for i, line := range lines {
+		content, err := StripHeader("HDFS", line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if content != msgs[i].Content {
+			t.Fatalf("line %d: Strip(Render) = %q, want %q", i, content, msgs[i].Content)
+		}
+		if !strings.Contains(line, "INFO") {
+			t.Fatalf("line %d has no header: %q", i, line)
+		}
+	}
+}
+
+func TestRenderRawLinesUnknownDataset(t *testing.T) {
+	if _, err := RenderRawLines("nope", nil, 1, time.Now()); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := StripHeader("nope", "x"); err == nil {
+		t.Error("unknown dataset accepted by StripHeader")
+	}
+}
+
+func TestRawLineTimestampsMonotonic(t *testing.T) {
+	cat, err := Dataset("Zookeeper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := cat.Generate(2, 20)
+	start := time.Date(2015, 7, 29, 17, 0, 0, 0, time.UTC)
+	lines, err := RenderRawLines("Zookeeper", msgs, 3, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev time.Time
+	for i, line := range lines {
+		tsPart := strings.SplitN(line, " - ", 2)[0]
+		ts, err := time.Parse("2006-01-02 15:04:05,000", tsPart)
+		if err != nil {
+			t.Fatalf("line %d timestamp %q: %v", i, tsPart, err)
+		}
+		if ts.Before(prev) {
+			t.Fatalf("timestamps not monotone at line %d", i)
+		}
+		prev = ts
+	}
+}
+
+func TestMatcherFacade(t *testing.T) {
+	cat, err := Dataset("HDFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := cat.Generate(5, 3000)
+	parser, err := NewParser("IPLoM", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined, err := parser.Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMatcher(mined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh traffic from the same system should type almost completely.
+	fresh := cat.Generate(6, 3000)
+	matched := 0
+	for i := range fresh {
+		if _, err := m.Match(fresh[i].Tokens); err == nil {
+			matched++
+		} else if !errors.Is(err, ErrNoMatch) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if matched < 2700 {
+		t.Errorf("only %d/3000 fresh lines matched", matched)
+	}
+}

@@ -1,0 +1,3 @@
+module logparse
+
+go 1.22

@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEditDistance(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a b c", "a b c", 0},
+		{"a b c", "a x c", 1},
+		{"a b c", "a b", 1},
+		{"a b", "x y", 2},
+		{"", "a b c", 3},
+		{"a b c d", "b c d e", 2},
+	}
+	for _, tt := range tests {
+		a, b := strings.Fields(tt.a), strings.Fields(tt.b)
+		if got := EditDistance(a, b); got != tt.want {
+			t.Errorf("EditDistance(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestEditDistanceProperties(t *testing.T) {
+	gen := func(xs []byte) []string {
+		out := make([]string, 0, len(xs))
+		for _, x := range xs {
+			out = append(out, string(x%5+'a'))
+		}
+		return out
+	}
+	symmetric := func(xs, ys []byte) bool {
+		a, b := gen(xs), gen(ys)
+		return EditDistance(a, b) == EditDistance(b, a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	identity := func(xs []byte) bool {
+		a := gen(xs)
+		return EditDistance(a, a) == 0
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	bounded := func(xs, ys []byte) bool {
+		a, b := gen(xs), gen(ys)
+		d := EditDistance(a, b)
+		longer := len(a)
+		if len(b) > longer {
+			longer = len(b)
+		}
+		shorter := len(a) + len(b) - longer
+		return d <= longer && d >= longer-shorter
+	}
+	if err := quick.Check(bounded, nil); err != nil {
+		t.Errorf("bounds: %v", err)
+	}
+	triangle := func(xs, ys, zs []byte) bool {
+		a, b, c := gen(xs), gen(ys), gen(zs)
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+}
+
+func TestPositionWeightDecreases(t *testing.T) {
+	const nu = 8
+	prev := PositionWeight(0, nu)
+	for i := 1; i < 30; i++ {
+		w := PositionWeight(i, nu)
+		if w >= prev {
+			t.Fatalf("weight not strictly decreasing at %d: %v >= %v", i, w, prev)
+		}
+		if w <= 0 || w >= 1 {
+			t.Fatalf("weight out of (0,1) at %d: %v", i, w)
+		}
+		prev = w
+	}
+}
+
+func TestWeightedEditDistance(t *testing.T) {
+	const nu = 8
+	a := strings.Fields("Receiving block blk_1 src dest")
+	b := strings.Fields("Receiving block blk_2 src dest")
+	c := strings.Fields("Deleting file path now go")
+	dSame := WeightedEditDistance(a, a, nu)
+	dNear := WeightedEditDistance(a, b, nu)
+	dFar := WeightedEditDistance(a, c, nu)
+	if dSame != 0 {
+		t.Errorf("identical sequences distance = %v, want 0", dSame)
+	}
+	if !(dNear > 0 && dNear < dFar) {
+		t.Errorf("ordering violated: same=%v near=%v far=%v", dSame, dNear, dFar)
+	}
+	if dFar > 1 {
+		t.Errorf("distance exceeds normalised bound: %v", dFar)
+	}
+}
+
+func TestWeightedEditDistanceEarlyWordsMatter(t *testing.T) {
+	const nu = 4
+	base := strings.Fields("a b c d e f g h")
+	headDiff := strings.Fields("X b c d e f g h")
+	tailDiff := strings.Fields("a b c d e f g X")
+	dh := WeightedEditDistance(base, headDiff, nu)
+	dt := WeightedEditDistance(base, tailDiff, nu)
+	if dh <= dt {
+		t.Errorf("head substitution (%v) must cost more than tail (%v)", dh, dt)
+	}
+}
+
+func TestWeightedEditDistanceProperties(t *testing.T) {
+	gen := func(xs []byte) []string {
+		out := make([]string, 0, len(xs))
+		for _, x := range xs {
+			out = append(out, string(x%4+'a'))
+		}
+		return out
+	}
+	f := func(xs, ys []byte) bool {
+		a, b := gen(xs), gen(ys)
+		d := WeightedEditDistance(a, b, 8)
+		d2 := WeightedEditDistance(b, a, 8)
+		return d >= 0 && d <= 1 && math.Abs(d-d2) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := NewUnionFind(5)
+	if u.Count() != 5 {
+		t.Fatalf("initial count = %d", u.Count())
+	}
+	if !u.Union(0, 1) {
+		t.Error("first union reported no-op")
+	}
+	if u.Union(1, 0) {
+		t.Error("repeated union reported a merge")
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	if u.Count() != 2 {
+		t.Errorf("count = %d, want 2", u.Count())
+	}
+	if u.Find(1) != u.Find(2) {
+		t.Error("transitive union broken")
+	}
+	if u.Find(4) == u.Find(0) {
+		t.Error("disjoint elements merged")
+	}
+	comps := u.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	total := 0
+	for _, c := range comps {
+		total += len(c)
+	}
+	if total != 5 {
+		t.Errorf("components cover %d elements, want 5", total)
+	}
+}
+
+func TestUnionFindComponentsDeterministic(t *testing.T) {
+	build := func() [][]int {
+		u := NewUnionFind(6)
+		u.Union(5, 2)
+		u.Union(1, 4)
+		return u.Components()
+	}
+	a, b := build(), build()
+	for i := range a {
+		if len(a[i]) != len(b[i]) || a[i][0] != b[i][0] {
+			t.Fatalf("non-deterministic components: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestTwoMeansThreshold(t *testing.T) {
+	// Bimodal sample: intra-cluster distances near 0.1, inter near 0.9.
+	var ds []float64
+	for i := 0; i < 50; i++ {
+		ds = append(ds, 0.1+float64(i%5)*0.01)
+		ds = append(ds, 0.9-float64(i%5)*0.01)
+	}
+	thr := TwoMeansThreshold(ds)
+	if thr < 0.3 || thr > 0.7 {
+		t.Errorf("threshold %v not between the modes", thr)
+	}
+}
+
+func TestTwoMeansThresholdDegenerate(t *testing.T) {
+	if thr := TwoMeansThreshold(nil); thr != 0 {
+		t.Errorf("empty sample threshold = %v, want 0", thr)
+	}
+	if thr := TwoMeansThreshold([]float64{0.5, 0.5, 0.5}); thr != 0 {
+		t.Errorf("constant sample threshold = %v, want 0", thr)
+	}
+}
+
+func TestTwoMeansThresholdBetweenExtremes(t *testing.T) {
+	f := func(raw []float64) bool {
+		var ds []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				ds = append(ds, math.Abs(math.Mod(x, 1)))
+			}
+		}
+		if len(ds) < 2 {
+			return true
+		}
+		thr := TwoMeansThreshold(ds)
+		lo, hi := ds[0], ds[0]
+		for _, d := range ds {
+			lo = math.Min(lo, d)
+			hi = math.Max(hi, d)
+		}
+		if lo == hi {
+			return thr == 0
+		}
+		return thr >= lo && thr <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

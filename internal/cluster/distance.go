@@ -1,0 +1,100 @@
+// Package cluster provides the clustering substrate shared by the
+// clustering-based parsers: word-level edit distances (plain and
+// positionally weighted), a union-find structure for single-link
+// agglomeration, and the 1-D 2-means threshold selection LKE uses to pick
+// its merge threshold automatically.
+package cluster
+
+import "math"
+
+// EditDistance is the word-level Levenshtein distance between two token
+// sequences (unit cost for insert, delete and substitute).
+func EditDistance(a, b []string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// PositionWeight is LKE's sigmoid positional weight: word operations near
+// the head of a message cost more than those in the tail, because log
+// messages put their discriminative constants first. nu is the sigmoid
+// midpoint (LKE's ν).
+func PositionWeight(index int, nu float64) float64 {
+	return 1.0 / (1.0 + math.Exp(float64(index)-nu))
+}
+
+// WeightedEditDistance is LKE's weighted word-level edit distance: each
+// operation at word index i costs PositionWeight(i, nu). The result is
+// normalised to [0,1] by the maximum possible cost of aligning the two
+// sequences, so thresholds are length-independent.
+func WeightedEditDistance(a, b []string, nu float64) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 && lb == 0 {
+		return 0
+	}
+	prev := make([]float64, lb+1)
+	cur := make([]float64, lb+1)
+	for j := 1; j <= lb; j++ {
+		prev[j] = prev[j-1] + PositionWeight(j-1, nu)
+	}
+	for i := 1; i <= la; i++ {
+		wi := PositionWeight(i-1, nu)
+		cur[0] = prev[0] + wi
+		for j := 1; j <= lb; j++ {
+			wj := PositionWeight(j-1, nu)
+			sub := prev[j-1]
+			if a[i-1] != b[j-1] {
+				sub += math.Max(wi, wj)
+			}
+			cur[j] = math.Min(sub, math.Min(prev[j]+wi, cur[j-1]+wj))
+		}
+		prev, cur = cur, prev
+	}
+	// Normalise by the all-substitute-and-insert upper bound.
+	maxCost := 0.0
+	longer := la
+	if lb > la {
+		longer = lb
+	}
+	for i := 0; i < longer; i++ {
+		maxCost += PositionWeight(i, nu)
+	}
+	if maxCost == 0 {
+		return 0
+	}
+	d := prev[lb] / maxCost
+	if d > 1 {
+		d = 1
+	}
+	return d
+}
+
+func minInt(xs ...int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,48 @@
+package cluster
+
+import "sort"
+
+// TwoMeansThreshold selects a merge threshold from a sample of pairwise
+// distances the way LKE does: run 1-D k-means with k=2 to separate the
+// intra-cluster distance mode from the inter-cluster mode, and return the
+// midpoint of the two centroids. Returns 0 when the sample is empty or
+// degenerate (all distances equal).
+func TwoMeansThreshold(distances []float64) float64 {
+	if len(distances) == 0 {
+		return 0
+	}
+	ds := append([]float64(nil), distances...)
+	sort.Float64s(ds)
+	lo, hi := ds[0], ds[len(ds)-1]
+	if lo == hi {
+		return 0
+	}
+	c1, c2 := lo, hi
+	for iter := 0; iter < 100; iter++ {
+		// Boundary index: values below mid belong to c1. The slice is
+		// sorted, so means are prefix/suffix averages.
+		mid := (c1 + c2) / 2
+		b := sort.SearchFloat64s(ds, mid)
+		if b == 0 {
+			b = 1
+		}
+		if b == len(ds) {
+			b = len(ds) - 1
+		}
+		n1 := mean(ds[:b])
+		n2 := mean(ds[b:])
+		if n1 == c1 && n2 == c2 {
+			break
+		}
+		c1, c2 = n1, n2
+	}
+	return (c1 + c2) / 2
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

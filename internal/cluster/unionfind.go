@@ -1,0 +1,66 @@
+package cluster
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression, used for single-link agglomerative clustering: merging every
+// pair of items closer than a threshold yields the connected components.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	count  int
+}
+
+// NewUnionFind creates n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int, n), rank: make([]int, n), count: n}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y, reporting whether a merge happened.
+func (u *UnionFind) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.count--
+	return true
+}
+
+// Count returns the number of disjoint sets.
+func (u *UnionFind) Count() int { return u.count }
+
+// Components returns the members of each set, grouped. Group order follows
+// the first-seen representative, so output is deterministic.
+func (u *UnionFind) Components() [][]int {
+	index := make(map[int]int)
+	var groups [][]int
+	for i := range u.parent {
+		r := u.Find(i)
+		gi, ok := index[r]
+		if !ok {
+			gi = len(groups)
+			index[r] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	return groups
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTemplateString(t *testing.T) {
+	tests := []struct {
+		name string
+		tmpl Template
+		want string
+	}{
+		{"constants and wildcards", Template{ID: "E2", Tokens: []string{"Receiving", "block", "*", "src:", "*", "dest:", "*"}},
+			"Receiving block * src: * dest: *"},
+		{"single token", Template{Tokens: []string{"x"}}, "x"},
+		{"empty", Template{}, ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.tmpl.String(); got != tt.want {
+				t.Errorf("String() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTemplateNumWildcards(t *testing.T) {
+	tmpl := Template{Tokens: []string{"a", Wildcard, "b", Wildcard, Wildcard}}
+	if got := tmpl.NumWildcards(); got != 3 {
+		t.Errorf("NumWildcards() = %d, want 3", got)
+	}
+	if got := (Template{}).NumWildcards(); got != 0 {
+		t.Errorf("empty template NumWildcards() = %d, want 0", got)
+	}
+}
+
+func TestTemplateMatches(t *testing.T) {
+	tmpl := Template{Tokens: []string{"Receiving", "block", Wildcard}}
+	tests := []struct {
+		name   string
+		tokens []string
+		want   bool
+	}{
+		{"exact instance", []string{"Receiving", "block", "blk_1"}, true},
+		{"wildcard position may be anything", []string{"Receiving", "block", "*"}, true},
+		{"constant mismatch", []string{"Sending", "block", "blk_1"}, false},
+		{"length mismatch short", []string{"Receiving", "block"}, false},
+		{"length mismatch long", []string{"Receiving", "block", "blk_1", "x"}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tmpl.Matches(tt.tokens); got != tt.want {
+				t.Errorf("Matches(%v) = %v, want %v", tt.tokens, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTemplateMatchesOwnInstances(t *testing.T) {
+	// Property: a template derived from a cluster matches every
+	// majority-length member of that cluster.
+	seqs := [][]string{
+		{"a", "x1", "c"},
+		{"a", "x2", "c"},
+		{"a", "x3", "c"},
+		{"a", "b"},
+	}
+	tmpl := Template{Tokens: TemplateFromCluster(seqs)}
+	for _, s := range seqs[:3] {
+		if !tmpl.Matches(s) {
+			t.Errorf("template %q does not match member %v", tmpl, s)
+		}
+	}
+}
+
+func TestTemplateFromCluster(t *testing.T) {
+	tests := []struct {
+		name string
+		seqs [][]string
+		want []string
+	}{
+		{"all equal", [][]string{{"a", "b"}, {"a", "b"}}, []string{"a", "b"}},
+		{"one variable position", [][]string{{"a", "1"}, {"a", "2"}}, []string{"a", Wildcard}},
+		{"all variable", [][]string{{"x", "1"}, {"y", "2"}}, []string{Wildcard, Wildcard}},
+		{"majority length wins", [][]string{{"a", "b"}, {"a", "b"}, {"a"}}, []string{"a", "b"}},
+		{"single member", [][]string{{"only", "one"}}, []string{"only", "one"}},
+		{"empty input", nil, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := TemplateFromCluster(tt.seqs); !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("TemplateFromCluster(%v) = %v, want %v", tt.seqs, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTemplateFromClusterLengthTieBreak(t *testing.T) {
+	// Equal counts: the longer length wins deterministically.
+	seqs := [][]string{{"a"}, {"b", "c"}}
+	got := TemplateFromCluster(seqs)
+	if len(got) != 2 {
+		t.Fatalf("tie should pick longer length, got %v", got)
+	}
+}
+
+func TestParseResultValidate(t *testing.T) {
+	res := &ParseResult{
+		Templates:  []Template{{ID: "E1", Tokens: []string{"a"}}},
+		Assignment: []int{0, OutlierID, 0},
+	}
+	if err := res.Validate(3); err != nil {
+		t.Errorf("valid result rejected: %v", err)
+	}
+	if err := res.Validate(2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	res.Assignment[1] = 5
+	if err := res.Validate(3); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+	res.Assignment[1] = -7
+	if err := res.Validate(3); err == nil {
+		t.Error("negative non-outlier assignment accepted")
+	}
+}
+
+func TestParseResultEventCounts(t *testing.T) {
+	res := &ParseResult{
+		Templates:  []Template{{ID: "A"}, {ID: "B"}},
+		Assignment: []int{0, 1, 0, OutlierID, 0},
+	}
+	counts, outliers := res.EventCounts()
+	if !reflect.DeepEqual(counts, []int{3, 1}) || outliers != 1 {
+		t.Errorf("EventCounts() = %v, %d; want [3 1], 1", counts, outliers)
+	}
+}
+
+func TestParseResultClusterIDs(t *testing.T) {
+	res := &ParseResult{
+		Templates:  []Template{{ID: "A"}},
+		Assignment: []int{0, OutlierID, OutlierID},
+	}
+	ids := res.ClusterIDs()
+	if ids[0] != "A" {
+		t.Errorf("assigned message got cluster %q, want A", ids[0])
+	}
+	if ids[1] == ids[2] {
+		t.Error("outliers must be singleton clusters, got equal IDs")
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"a b  c", []string{"a", "b", "c"}},
+		{"  leading and trailing  ", []string{"leading", "and", "trailing"}},
+		{"", nil},
+		{"\t tabs\tand spaces ", []string{"tabs", "and", "spaces"}},
+	}
+	for _, tt := range tests {
+		got := Tokenize(tt.in)
+		if len(got) == 0 && len(tt.want) == 0 {
+			continue // nil vs empty slice are equivalent here
+		}
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRetokenize(t *testing.T) {
+	msgs := []LogMessage{
+		{Content: "a b"},
+		{Content: "ignored", Tokens: []string{"kept"}},
+	}
+	Retokenize(msgs)
+	if !reflect.DeepEqual(msgs[0].Tokens, []string{"a", "b"}) {
+		t.Errorf("missing tokens not filled: %v", msgs[0].Tokens)
+	}
+	if !reflect.DeepEqual(msgs[1].Tokens, []string{"kept"}) {
+		t.Errorf("existing tokens overwritten: %v", msgs[1].Tokens)
+	}
+}
+
+func TestTemplateFromClusterProperty(t *testing.T) {
+	// Property: for any non-empty cluster of equal-length rows, the
+	// derived template has the row length, and every constant position
+	// equals the common token.
+	f := func(rows [][3]byte, n uint8) bool {
+		if len(rows) == 0 {
+			return true
+		}
+		seqs := make([][]string, len(rows))
+		for i, r := range rows {
+			seqs[i] = []string{string(r[0]%3 + 'a'), string(r[1]%3 + 'a'), string(r[2]%3 + 'a')}
+		}
+		tmpl := TemplateFromCluster(seqs)
+		if len(tmpl) != 3 {
+			return false
+		}
+		for pos := 0; pos < 3; pos++ {
+			allEq := true
+			for _, s := range seqs {
+				if s[pos] != seqs[0][pos] {
+					allEq = false
+					break
+				}
+			}
+			if allEq && tmpl[pos] != seqs[0][pos] {
+				return false
+			}
+			if !allEq && tmpl[pos] != Wildcard {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeProperty(t *testing.T) {
+	// Property: joined tokens re-tokenize to themselves.
+	f := func(words []string) bool {
+		var clean []string
+		for _, w := range words {
+			if fields := strings.Fields(w); len(fields) == 1 {
+				clean = append(clean, fields[0])
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		got := Tokenize(strings.Join(clean, " "))
+		return reflect.DeepEqual(got, clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

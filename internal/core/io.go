@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The toolkit's standard I/O formats (§II-C): the input is a file of raw log
+// messages, one per line; the output is two files, a log-events file listing
+// the extracted templates and a structured-log file mapping each input line
+// to an event ID.
+//
+// Dataset files produced by cmd/loggen additionally carry ground truth in a
+// tab-separated prefix:
+//
+//	<truthID>\t<session>\t<content>
+//
+// ReadMessages accepts both forms.
+
+// ReadMessages reads raw log messages, one per line. Lines containing two
+// tab separators are interpreted as annotated dataset lines carrying ground
+// truth; all other lines are plain message content. maxLines caps the number
+// of messages read (0 means unlimited).
+func ReadMessages(r io.Reader, maxLines int) ([]LogMessage, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var msgs []LogMessage
+	for sc.Scan() {
+		if maxLines > 0 && len(msgs) >= maxLines {
+			break
+		}
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		msg := LogMessage{LineNo: len(msgs) + 1}
+		if parts := strings.SplitN(line, "\t", 3); len(parts) == 3 {
+			msg.TruthID, msg.Session, msg.Content = parts[0], parts[1], parts[2]
+		} else {
+			msg.Content = line
+		}
+		msg.Tokens = Tokenize(msg.Content)
+		msgs = append(msgs, msg)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: read messages: %w", err)
+	}
+	return msgs, nil
+}
+
+// WriteMessages writes dataset lines in the annotated tab-separated form
+// readable by ReadMessages.
+func WriteMessages(w io.Writer, msgs []LogMessage) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range msgs {
+		if _, err := bw.WriteString(m.TruthID + "\t" + m.Session + "\t" + m.Content + "\n"); err != nil {
+			return fmt.Errorf("core: write messages: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteEvents writes the log-events output file: one line per template in
+// "ID<TAB>template" form.
+func WriteEvents(w io.Writer, r *ParseResult) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range r.Templates {
+		if _, err := bw.WriteString(t.ID + "\t" + t.String() + "\n"); err != nil {
+			return fmt.Errorf("core: write events: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteStructured writes the structured-log output file: one line per input
+// message in "lineNo<TAB>eventID" form; outliers are written with event ID
+// "-" as in the SLCT convention.
+func WriteStructured(w io.Writer, msgs []LogMessage, r *ParseResult) error {
+	if err := r.Validate(len(msgs)); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	for i, m := range msgs {
+		id := "-"
+		if a := r.Assignment[i]; a != OutlierID {
+			id = r.Templates[a].ID
+		}
+		if _, err := bw.WriteString(strconv.Itoa(m.LineNo) + "\t" + id + "\n"); err != nil {
+			return fmt.Errorf("core: write structured log: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadStructured reads a structured-log file written by WriteStructured and
+// returns the event ID per line ("-" marks an outlier).
+func ReadStructured(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var ids []string
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("core: malformed structured log line %d: %q", len(ids)+1, line)
+		}
+		ids = append(ids, parts[1])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: read structured log: %w", err)
+	}
+	return ids, nil
+}

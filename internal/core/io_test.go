@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadMessagesAnnotated(t *testing.T) {
+	in := "E1\tblk_1\tReceiving block blk_1\nE2\t\tVerification succeeded\n"
+	msgs, err := ReadMessages(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("got %d messages, want 2", len(msgs))
+	}
+	want := LogMessage{
+		LineNo: 1, Content: "Receiving block blk_1",
+		Tokens:  []string{"Receiving", "block", "blk_1"},
+		TruthID: "E1", Session: "blk_1",
+	}
+	if !reflect.DeepEqual(msgs[0], want) {
+		t.Errorf("msgs[0] = %+v, want %+v", msgs[0], want)
+	}
+	if msgs[1].Session != "" || msgs[1].TruthID != "E2" {
+		t.Errorf("msgs[1] annotation wrong: %+v", msgs[1])
+	}
+}
+
+func TestReadMessagesPlain(t *testing.T) {
+	in := "just a plain line\n\nanother line\n"
+	msgs, err := ReadMessages(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("got %d messages (empty lines must be skipped), want 2", len(msgs))
+	}
+	if msgs[0].TruthID != "" || msgs[0].Content != "just a plain line" {
+		t.Errorf("plain line misparsed: %+v", msgs[0])
+	}
+	if msgs[1].LineNo != 2 {
+		t.Errorf("LineNo = %d, want 2", msgs[1].LineNo)
+	}
+}
+
+func TestReadMessagesMaxLines(t *testing.T) {
+	in := "a\nb\nc\nd\n"
+	msgs, err := ReadMessages(strings.NewReader(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Errorf("maxLines ignored: got %d messages", len(msgs))
+	}
+}
+
+func TestWriteReadMessagesRoundTrip(t *testing.T) {
+	msgs := []LogMessage{
+		{LineNo: 1, Content: "Receiving block blk_1", TruthID: "E1", Session: "blk_1",
+			Tokens: []string{"Receiving", "block", "blk_1"}},
+		{LineNo: 2, Content: "done", TruthID: "E2", Session: "s",
+			Tokens: []string{"done"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteMessages(&buf, msgs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessages(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, msgs) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, msgs)
+	}
+}
+
+func TestWriteEventsAndStructured(t *testing.T) {
+	msgs := []LogMessage{
+		{LineNo: 1, Content: "a b", Tokens: []string{"a", "b"}},
+		{LineNo: 2, Content: "a c", Tokens: []string{"a", "c"}},
+		{LineNo: 3, Content: "zzz", Tokens: []string{"zzz"}},
+	}
+	res := &ParseResult{
+		Templates:  []Template{{ID: "E1", Tokens: []string{"a", Wildcard}}},
+		Assignment: []int{0, 0, OutlierID},
+	}
+	var events bytes.Buffer
+	if err := WriteEvents(&events, res); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := events.String(), "E1\ta *\n"; got != want {
+		t.Errorf("events file = %q, want %q", got, want)
+	}
+	var structured bytes.Buffer
+	if err := WriteStructured(&structured, msgs, res); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := ReadStructured(&structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []string{"E1", "E1", "-"}) {
+		t.Errorf("structured IDs = %v, want [E1 E1 -]", ids)
+	}
+}
+
+func TestWriteStructuredValidates(t *testing.T) {
+	msgs := []LogMessage{{LineNo: 1, Content: "a"}}
+	res := &ParseResult{Assignment: []int{3}}
+	if err := WriteStructured(&bytes.Buffer{}, msgs, res); err == nil {
+		t.Error("invalid result accepted")
+	}
+}
+
+func TestReadStructuredMalformed(t *testing.T) {
+	_, err := ReadStructured(strings.NewReader("no-tab-here\n"))
+	if err == nil {
+		t.Error("malformed structured log accepted")
+	}
+}
+
+func TestReadMessagesLongLine(t *testing.T) {
+	// Lines longer than the default bufio.Scanner buffer must still parse.
+	long := strings.Repeat("word ", 50000)
+	msgs, err := ReadMessages(strings.NewReader(long+"\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || len(msgs[0].Tokens) != 50000 {
+		t.Errorf("long line mishandled: %d msgs", len(msgs))
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, errors.New("boom") }
+
+func TestReadMessagesError(t *testing.T) {
+	if _, err := ReadMessages(failingReader{}, 0); err == nil {
+		t.Error("reader error swallowed")
+	}
+}

@@ -1,0 +1,248 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"logparse/internal/core"
+	"logparse/internal/gen"
+	"logparse/internal/parsers/iplom"
+	"logparse/internal/parsers/lke"
+	"logparse/internal/parsers/slct"
+)
+
+func TestFMeasurePerfect(t *testing.T) {
+	labels := []string{"a", "a", "b", "b", "c"}
+	m, err := FMeasure(labels, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.F != 1 || m.Precision != 1 || m.Recall != 1 {
+		t.Errorf("perfect clustering scored %+v", m)
+	}
+}
+
+func TestFMeasureKnownValues(t *testing.T) {
+	// Truth: {1,2,3} in A and {4,5} in B → 3+1 = 4 true pairs.
+	truth := []string{"A", "A", "A", "B", "B"}
+	// Prediction splits A: {1,2} {3} and keeps B: 1+0+1 = 2 pred pairs,
+	// both correct.
+	pred := []string{"x", "x", "y", "z", "z"}
+	m, err := FMeasure(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision != 1.0 {
+		t.Errorf("precision = %v, want 1", m.Precision)
+	}
+	if m.Recall != 0.5 {
+		t.Errorf("recall = %v, want 0.5", m.Recall)
+	}
+	wantF := 2 * 1.0 * 0.5 / 1.5
+	if math.Abs(m.F-wantF) > 1e-12 {
+		t.Errorf("F = %v, want %v", m.F, wantF)
+	}
+}
+
+func TestFMeasureOverMerging(t *testing.T) {
+	// Everything in one predicted cluster: recall 1, precision = true
+	// pairs / all pairs.
+	truth := []string{"A", "A", "B", "B"}
+	pred := []string{"x", "x", "x", "x"}
+	m, err := FMeasure(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Recall != 1 {
+		t.Errorf("recall = %v, want 1", m.Recall)
+	}
+	if want := 2.0 / 6.0; math.Abs(m.Precision-want) > 1e-12 {
+		t.Errorf("precision = %v, want %v", m.Precision, want)
+	}
+}
+
+func TestFMeasureSingletons(t *testing.T) {
+	// All singletons: no predicted pairs → precision 0 (by convention),
+	// recall 0, F 0.
+	truth := []string{"A", "A", "A"}
+	pred := []string{"x", "y", "z"}
+	m, err := FMeasure(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.F != 0 {
+		t.Errorf("F = %v, want 0", m.F)
+	}
+}
+
+func TestFMeasureLengthMismatch(t *testing.T) {
+	if _, err := FMeasure([]string{"a"}, []string{"a", "b"}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("err = %v, want ErrLengthMismatch", err)
+	}
+}
+
+func TestFMeasureProperties(t *testing.T) {
+	toLabels := func(xs []byte, mod byte) []string {
+		out := make([]string, len(xs))
+		for i, x := range xs {
+			out[i] = string(x%mod + 'a')
+		}
+		return out
+	}
+	bounded := func(xs, ys []byte) bool {
+		if len(xs) > len(ys) {
+			xs = xs[:len(ys)]
+		} else {
+			ys = ys[:len(xs)]
+		}
+		m, err := FMeasure(toLabels(xs, 4), toLabels(ys, 4))
+		if err != nil {
+			return false
+		}
+		return m.F >= 0 && m.F <= 1 && m.Precision >= 0 && m.Precision <= 1 &&
+			m.Recall >= 0 && m.Recall <= 1
+	}
+	if err := quick.Check(bounded, nil); err != nil {
+		t.Errorf("boundedness: %v", err)
+	}
+	selfPerfect := func(xs []byte) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		labels := toLabels(xs, 3)
+		m, err := FMeasure(labels, labels)
+		if err != nil {
+			return false
+		}
+		// With <2 items or all singletons there are no pairs; F is 0 by
+		// convention, otherwise 1.
+		return m.F == 1 || m.TruePairs == 0
+	}
+	if err := quick.Check(selfPerfect, nil); err != nil {
+		t.Errorf("self-comparison: %v", err)
+	}
+	refinementPrecision := func(xs []byte) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		truth := toLabels(xs, 2)
+		// Refine truth clusters by index parity → precision must be 1.
+		pred := make([]string, len(truth))
+		for i := range truth {
+			pred[i] = fmt.Sprintf("%s-%d", truth[i], i%2)
+		}
+		m, err := FMeasure(pred, truth)
+		if err != nil {
+			return false
+		}
+		return m.PredPairs == 0 || m.Precision == 1
+	}
+	if err := quick.Check(refinementPrecision, nil); err != nil {
+		t.Errorf("refinement precision: %v", err)
+	}
+}
+
+func TestAccuracyRunner(t *testing.T) {
+	cat := gen.Proxifier()
+	factory := func(int64) core.Parser { return iplom.New(iplom.Options{}) }
+	res, err := Accuracy(cat, factory, AccuracyOptions{Sample: 500, Runs: 2, DataSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F <= 0 || res.F > 1 {
+		t.Errorf("F = %v", res.F)
+	}
+	if res.Parser != "IPLoM" || res.Dataset != "Proxifier" || res.Sample != 500 {
+		t.Errorf("metadata wrong: %+v", res)
+	}
+}
+
+func TestAccuracyRejectsBadSample(t *testing.T) {
+	factory := func(int64) core.Parser { return iplom.New(iplom.Options{}) }
+	if _, err := Accuracy(gen.HDFS(), factory, AccuracyOptions{Sample: 0}); err == nil {
+		t.Error("zero sample accepted")
+	}
+}
+
+func TestAccuracyPreprocessChangesInput(t *testing.T) {
+	cat := gen.BGL()
+	factory := func(seed int64) core.Parser {
+		return slct.New(slct.Options{Support: 10})
+	}
+	raw, err := Accuracy(cat, factory, AccuracyOptions{Sample: 1000, DataSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Accuracy(cat, factory, AccuracyOptions{Sample: 1000, DataSeed: 7, Preprocess: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finding 2: preprocessing must never hurt SLCT on BGL (it removes
+	// the core.* parameter).
+	if pp.F < raw.F-1e-9 {
+		t.Errorf("preprocessing hurt SLCT on BGL: %.3f < %.3f", pp.F, raw.F)
+	}
+}
+
+func TestEfficiencySkipsOversizedLKE(t *testing.T) {
+	cat := gen.Proxifier()
+	factory := func(seed int64) core.Parser {
+		return lke.New(lke.Options{MaxMessages: 500, Seed: seed})
+	}
+	points, err := Efficiency(cat, factory, []int{200, 1000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].Skipped {
+		t.Error("in-budget size skipped")
+	}
+	if !points[1].Skipped {
+		t.Error("over-budget size not marked skipped")
+	}
+}
+
+func TestEfficiencyMeasuresTime(t *testing.T) {
+	cat := gen.HDFS()
+	factory := func(int64) core.Parser { return iplom.New(iplom.Options{}) }
+	points, err := Efficiency(cat, factory, []int{500, 2000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Elapsed <= 0 {
+			t.Errorf("non-positive elapsed at %d lines", p.Lines)
+		}
+	}
+}
+
+func TestAccuracyVsSize(t *testing.T) {
+	cat := gen.Zookeeper()
+	factory := func(int64) core.Parser { return iplom.New(iplom.Options{}) }
+	rows, err := AccuracyVsSize(cat, factory, []int{400, 1600}, AccuracyOptions{DataSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Sample != 400 || rows[1].Sample != 1600 {
+		t.Errorf("rows = %+v", rows)
+	}
+}
+
+func TestAccuracyVsSizeDropsLKEOverCap(t *testing.T) {
+	cat := gen.Proxifier()
+	factory := func(seed int64) core.Parser {
+		return lke.New(lke.Options{MaxMessages: 500, Seed: seed})
+	}
+	rows, err := AccuracyVsSize(cat, factory, []int{200, 5000}, AccuracyOptions{DataSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Errorf("over-cap size not dropped: %d rows", len(rows))
+	}
+}

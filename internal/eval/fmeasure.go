@@ -1,0 +1,70 @@
+// Package eval implements the paper's evaluation machinery: the pairwise
+// F-measure used to score parsing accuracy (§IV-A, citing the IR-book
+// clustering evaluation), and the experiment runners behind RQ1 (accuracy),
+// RQ2 (efficiency) and Fig. 3 (accuracy vs volume with frozen parameters).
+package eval
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrLengthMismatch is returned when predicted and truth labels differ in
+// length.
+var ErrLengthMismatch = errors.New("eval: predicted and truth label slices differ in length")
+
+// PRF holds pairwise precision, recall and F-measure.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F         float64
+	// TruePairs, PredPairs and AgreePairs are the underlying pair counts
+	// (pairs in same truth cluster, same predicted cluster, and both).
+	TruePairs  int64
+	PredPairs  int64
+	AgreePairs int64
+}
+
+// String renders the F-measure the way the paper's tables do.
+func (m PRF) String() string {
+	return fmt.Sprintf("P=%.2f R=%.2f F=%.2f", m.Precision, m.Recall, m.F)
+}
+
+// FMeasure computes the pairwise clustering F-measure between a predicted
+// clustering and the ground truth, given one label per item. Two items are
+// a positive pair when they share a cluster; precision and recall are over
+// pairs, computed from the contingency table in O(items + cells) — no
+// quadratic pair enumeration.
+func FMeasure(predicted, truth []string) (PRF, error) {
+	if len(predicted) != len(truth) {
+		return PRF{}, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(predicted), len(truth))
+	}
+	predSizes := make(map[string]int64)
+	truthSizes := make(map[string]int64)
+	cellSizes := make(map[[2]string]int64)
+	for i := range predicted {
+		predSizes[predicted[i]]++
+		truthSizes[truth[i]]++
+		cellSizes[[2]string{predicted[i], truth[i]}]++
+	}
+	var m PRF
+	for _, n := range predSizes {
+		m.PredPairs += n * (n - 1) / 2
+	}
+	for _, n := range truthSizes {
+		m.TruePairs += n * (n - 1) / 2
+	}
+	for _, n := range cellSizes {
+		m.AgreePairs += n * (n - 1) / 2
+	}
+	if m.PredPairs > 0 {
+		m.Precision = float64(m.AgreePairs) / float64(m.PredPairs)
+	}
+	if m.TruePairs > 0 {
+		m.Recall = float64(m.AgreePairs) / float64(m.TruePairs)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m, nil
+}

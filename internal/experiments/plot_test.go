@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"logparse/internal/eval"
+)
+
+func TestPlotASCII(t *testing.T) {
+	var buf bytes.Buffer
+	PlotASCII(&buf, "test chart", []Series{
+		{Name: "linear", Marker: 'L', X: []float64{1, 10, 100}, Y: []float64{1, 10, 100}},
+		{Name: "quadratic", Marker: 'Q', X: []float64{1, 10, 100}, Y: []float64{1, 100, 10000}},
+	}, 40, 10, true, true)
+	out := buf.String()
+	if !strings.Contains(out, "test chart") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "L=linear") || !strings.Contains(out, "Q=quadratic") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "L") || !strings.Contains(out, "Q") {
+		t.Error("markers missing")
+	}
+}
+
+func TestPlotASCIIEmptySeries(t *testing.T) {
+	var buf bytes.Buffer
+	PlotASCII(&buf, "empty", nil, 40, 10, true, true)
+	if !strings.Contains(buf.String(), "no plottable points") {
+		t.Errorf("empty input not handled:\n%s", buf.String())
+	}
+}
+
+func TestPlotASCIILogRejectsNonPositive(t *testing.T) {
+	var buf bytes.Buffer
+	PlotASCII(&buf, "mixed", []Series{
+		{Name: "s", Marker: 'S', X: []float64{0, 10}, Y: []float64{-1, 5}},
+	}, 40, 10, true, true)
+	// The (0,-1) point is unplottable on log axes; the (10,5) point plots.
+	if strings.Contains(buf.String(), "no plottable points") {
+		t.Errorf("valid point dropped:\n%s", buf.String())
+	}
+}
+
+func TestPlotASCIIDegenerateRange(t *testing.T) {
+	var buf bytes.Buffer
+	PlotASCII(&buf, "flat", []Series{
+		{Name: "s", Marker: 'S', X: []float64{5, 5}, Y: []float64{3, 3}},
+	}, 40, 10, false, false)
+	if buf.Len() == 0 {
+		t.Error("degenerate range produced no output")
+	}
+}
+
+func TestPlotFig2(t *testing.T) {
+	points := []eval.EfficiencyPoint{
+		{Dataset: "X", Parser: "SLCT", Lines: 400, Elapsed: time.Millisecond},
+		{Dataset: "X", Parser: "SLCT", Lines: 4000, Elapsed: 10 * time.Millisecond},
+		{Dataset: "X", Parser: "LKE", Lines: 400, Elapsed: 100 * time.Millisecond},
+		{Dataset: "X", Parser: "LKE", Lines: 4000, Elapsed: 0, Skipped: true},
+	}
+	var buf bytes.Buffer
+	PlotFig2(&buf, "X", points)
+	out := buf.String()
+	if !strings.Contains(out, "S=SLCT") || !strings.Contains(out, "K=LKE") {
+		t.Errorf("legend wrong:\n%s", out)
+	}
+}
+
+func TestAxisLabel(t *testing.T) {
+	tests := []struct {
+		v    float64
+		log  bool
+		want string
+	}{
+		{3, false, "3.0"},
+		{1500, false, "1.5k"},
+		{2e6, false, "2.0M"},
+		{3, true, "1.0k"}, // 10^3
+		{0.5, false, "0.5"},
+	}
+	for _, tt := range tests {
+		if got := axisLabel(tt.v, tt.log); got != tt.want {
+			t.Errorf("axisLabel(%v, %v) = %q, want %q", tt.v, tt.log, got, tt.want)
+		}
+	}
+}

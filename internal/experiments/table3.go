@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"logparse/internal/core"
+	"logparse/internal/eval"
+	"logparse/internal/gen"
+	"logparse/internal/mining/anomaly"
+	"logparse/internal/parsers/iplom"
+	"logparse/internal/parsers/logsig"
+	"logparse/internal/parsers/slct"
+)
+
+// Table3Options configures the RQ3 anomaly-detection experiment. LKE is not
+// included, as in the paper ("LKE is not employed because it could not
+// handle this large amount of data in reasonable time").
+type Table3Options struct {
+	// Sessions is the number of block operation requests (paper: 575,061;
+	// default 8,000 for a single-core box — ratios are scale-stable).
+	Sessions int
+	// AnomalyRate is the anomalous-session fraction (paper: ≈0.0293).
+	AnomalyRate float64
+	// Seed seeds generation.
+	Seed int64
+}
+
+func (o Table3Options) withDefaults() Table3Options {
+	if o.Sessions <= 0 {
+		o.Sessions = 8000
+	}
+	if o.AnomalyRate <= 0 {
+		o.AnomalyRate = float64(gen.FullHDFSAnomalies) / float64(gen.FullHDFSSessions)
+	}
+	if o.Seed == 0 {
+		o.Seed = 11
+	}
+	return o
+}
+
+// table3Parsers builds the parser lineup of Table III with parameters
+// re-tuned for the session-structured HDFS log. The SLCT support fraction
+// and LogSig group count were selected for good parsing accuracy on a small
+// sample, the protocol of §IV-D — which is precisely how SLCT ends up
+// fragmenting critical events at full scale.
+func table3Parsers() []core.Parser {
+	return []core.Parser{
+		slct.New(slct.Options{SupportFrac: 0.0028}),
+		logsig.New(logsig.Options{NumGroups: 40, Seed: 1, Restarts: 3}),
+		iplom.New(iplom.Options{}),
+	}
+}
+
+// Table3 reproduces Table III: anomaly detection with different log
+// parsers. The last row is the ground-truth parse.
+func Table3(opts Table3Options) ([]anomaly.Report, error) {
+	opts = opts.withDefaults()
+	data, err := gen.GenerateHDFSSessions(gen.HDFSOptions{
+		Seed:        opts.Seed,
+		Sessions:    opts.Sessions,
+		AnomalyRate: opts.AnomalyRate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	msgs := data.Messages
+	truth := make([]string, len(msgs))
+	for i := range msgs {
+		truth[i] = msgs[i].TruthID
+	}
+
+	var reports []anomaly.Report
+	run := func(name string, parsed *core.ParseResult) error {
+		pa, err := eval.FMeasure(parsed.ClusterIDs(), truth)
+		if err != nil {
+			return err
+		}
+		res, err := anomaly.Detect(msgs, parsed, anomaly.DefaultOptions())
+		if err != nil {
+			return fmt.Errorf("table3 %s: %w", name, err)
+		}
+		rep := anomaly.Evaluate(res, data.Labels)
+		rep.Parser = name
+		rep.ParsingAccuracy = pa.F
+		reports = append(reports, rep)
+		return nil
+	}
+	for _, p := range table3Parsers() {
+		parsed, err := p.Parse(msgs)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s parse: %w", p.Name(), err)
+		}
+		if err := run(p.Name(), parsed); err != nil {
+			return nil, err
+		}
+	}
+	if err := run("Ground truth", gen.TruthResult(msgs)); err != nil {
+		return nil, err
+	}
+	return reports, nil
+}
+
+// FormatTable3 prints Table III's columns.
+func FormatTable3(w io.Writer, reports []anomaly.Report) {
+	fmt.Fprintf(w, "%-14s %8s %10s %18s %16s\n",
+		"", "Parsing", "Reported", "Detected", "False")
+	fmt.Fprintf(w, "%-14s %8s %10s %18s %16s\n",
+		"", "Accuracy", "Anomaly", "Anomaly", "Alarm")
+	for _, r := range reports {
+		fmt.Fprintf(w, "%-14s %8.2f %10d %10d (%2.0f%%) %10d (%.1f%%)\n",
+			r.Parser, r.ParsingAccuracy, r.Reported,
+			r.Detected, 100*r.DetectedRate(),
+			r.FalseAlarms, 100*r.FalseAlarmRate())
+	}
+}

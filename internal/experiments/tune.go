@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"logparse/internal/core"
+	"logparse/internal/eval"
+	"logparse/internal/gen"
+	"logparse/internal/parsers/logsig"
+	"logparse/internal/parsers/slct"
+)
+
+// TuneResult records one grid-search trial: a parameter value and the
+// F-measure it achieved on the tuning sample.
+type TuneResult struct {
+	Param float64
+	F     float64
+}
+
+// TuneSLCT grid-searches SLCT's support fraction on a sample of the
+// dataset, the §IV-C protocol ("a normal solution is to tune the
+// parameters in a sample dataset and directly apply them on large-scale
+// data"). It returns all trials and the best fraction (ties go to the
+// smaller support, which prefers recall).
+func TuneSLCT(dataset string, sample int, seed int64) ([]TuneResult, float64, error) {
+	fracs := []float64{0.0005, 0.001, 0.0028, 0.005, 0.01, 0.05, 0.15, 0.3}
+	trials, best, err := tune(dataset, sample, seed, fracs, func(f float64) core.Parser {
+		return slct.New(slct.Options{SupportFrac: f})
+	})
+	return trials, best, err
+}
+
+// TuneLogSigK grid-searches LogSig's group count k (Finding 4's
+// time-consuming knob). The candidate ladder brackets the true event count
+// of every dataset.
+func TuneLogSigK(dataset string, sample int, seed int64) ([]TuneResult, float64, error) {
+	ks := []float64{8, 20, 35, 60, 80, 110, 150}
+	trials, best, err := tune(dataset, sample, seed, ks, func(k float64) core.Parser {
+		return logsig.New(logsig.Options{NumGroups: int(k), Seed: seed})
+	})
+	return trials, best, err
+}
+
+func tune(dataset string, sample int, seed int64, params []float64, build func(float64) core.Parser) ([]TuneResult, float64, error) {
+	cat, err := gen.ByName(dataset)
+	if err != nil {
+		return nil, 0, err
+	}
+	if sample <= 0 {
+		sample = 2000
+	}
+	trials := make([]TuneResult, 0, len(params))
+	bestF, bestP := -1.0, params[0]
+	for _, p := range params {
+		res, err := eval.Accuracy(cat, func(int64) core.Parser { return build(p) }, eval.AccuracyOptions{
+			Sample:   sample,
+			DataSeed: seed,
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("tune %s param %v: %w", dataset, p, err)
+		}
+		trials = append(trials, TuneResult{Param: p, F: res.F})
+		if res.F > bestF {
+			bestF, bestP = res.F, p
+		}
+	}
+	return trials, bestP, nil
+}

@@ -1,0 +1,196 @@
+// Package gen synthesises the five evaluation datasets of He et al. (DSN
+// 2016): BGL, HPC, HDFS, Zookeeper and Proxifier. The paper's datasets are
+// production logs that are not redistributable; each generator here
+// reproduces the statistical structure the parsers are sensitive to — the
+// event count and message-length range of Table I, Zipf-skewed template
+// popularity, and realistic variable fields (IPs, block IDs, core IDs,
+// paths, hex words) — while emitting exact ground-truth labels.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Field enumerates the kinds of variable slots a template can carry. Field
+// kinds matter because they determine token cardinality, which drives parser
+// behaviour (e.g. BGL's "generating core.*" events defeat LKE's distance
+// metric because every occurrence differs in one high-cardinality token).
+type Field int
+
+// Field kinds.
+const (
+	FieldInt      Field = iota + 1 // bare integer, e.g. 42
+	FieldBigInt                    // wide integer, e.g. 904791815409399662
+	FieldIP                        // IPv4 with port, e.g. /10.251.43.210:50010
+	FieldIPBare                    // IPv4 without port
+	FieldBlockID                   // HDFS block, e.g. blk_904791815409399662
+	FieldCoreID                    // BGL core file, e.g. core.2275
+	FieldPath                      // slash path
+	FieldHex                       // hex word, e.g. 0x0b85eee0
+	FieldFloat                     // decimal, e.g. 3.75
+	FieldNode                      // node name, e.g. node-218
+	FieldUser                      // user name
+	FieldDuration                  // duration, e.g. 135ms
+	FieldSize                      // byte size, e.g. 67108864
+	FieldWord                      // random lowercase word (free-text-ish)
+	FieldExc                       // Java-style exception class
+	FieldZxid                      // Zookeeper transaction id, e.g. 0x1700000fd2
+	FieldSession                   // Zookeeper session id, e.g. 0x14ede63a5a70001
+	FieldProg                      // Windows program name, e.g. chrome.exe
+	FieldHost                      // host:port, e.g. proxy.cse.cuhk.edu.hk:5070
+	FieldIPSrc                     // pool IPv4 with ephemeral port
+	FieldRIdx                      // small replica/responder index, e.g. 0..2
+)
+
+// ipPool is the 203-node cluster address pool, matching the 203-node EC2
+// cluster of Xu et al. on which the paper's HDFS log was collected.
+var ipPool = func() []string {
+	ips := make([]string, 203)
+	for i := range ips {
+		ips[i] = fmt.Sprintf("10.251.%d.%d", 30+i/16, 10+13*(i%16))
+	}
+	return ips
+}()
+
+var fieldNames = map[string]Field{
+	"int":  FieldInt,
+	"big":  FieldBigInt,
+	"ip":   FieldIP,
+	"ipb":  FieldIPBare,
+	"blk":  FieldBlockID,
+	"core": FieldCoreID,
+	"path": FieldPath,
+	"hex":  FieldHex,
+	"flt":  FieldFloat,
+	"node": FieldNode,
+	"user": FieldUser,
+	"dur":  FieldDuration,
+	"size": FieldSize,
+	"word": FieldWord,
+	"exc":  FieldExc,
+	"zxid": FieldZxid,
+	"sess": FieldSession,
+	"prog": FieldProg,
+	"host": FieldHost,
+	"ips":  FieldIPSrc,
+	"ridx": FieldRIdx,
+}
+
+var progNames = []string{
+	"chrome.exe", "firefox.exe", "outlook.exe", "telegram.exe",
+	"thunderbird.exe", "dropbox.exe", "skype.exe", "putty.exe",
+	"svchost.exe", "ssh.exe",
+}
+
+var hostNames = []string{
+	"proxy.cse.cuhk.edu.hk", "www.google.com", "ssl.gstatic.com",
+	"mail.cse.cuhk.edu.hk", "clients4.google.com", "github.com",
+	"update.microsoft.com", "cdn.jsdelivr.net",
+}
+
+var excClasses = []string{
+	"java.io.IOException: Connection reset by peer",
+	"java.io.IOException: Could not read from stream",
+	"java.io.InterruptedIOException: Interruped while waiting for IO on channel",
+	"java.io.EOFException: while trying to read 65557 bytes",
+	"java.net.SocketTimeoutException: 480000 millis timeout while waiting for channel",
+	"java.io.IOException: Broken pipe",
+}
+
+var userNames = []string{"root", "hdfs", "hadoop", "alice", "bob", "svc-etl", "mapred", "yarn"}
+
+var wordBank = []string{
+	"request", "packet", "socket", "channel", "buffer", "queue", "thread",
+	"worker", "handler", "stream", "segment", "shard", "replica", "quorum",
+	"leader", "follower", "snapshot", "journal", "epoch", "heartbeat",
+	"timeout", "retry", "lease", "token", "cache", "region", "volume",
+	"device", "sector", "fabric", "link", "port", "lane", "interrupt",
+}
+
+// renderField draws a concrete value for a field kind.
+func renderField(f Field, rng *rand.Rand) string {
+	switch f {
+	case FieldInt:
+		return strconv.Itoa(rng.Intn(100000))
+	case FieldBigInt:
+		return strconv.FormatInt(rng.Int63(), 10)
+	case FieldIP:
+		// Datanode address: a finite 203-node pool with the fixed HDFS
+		// datanode port. Finite pools matter: node addresses recur often
+		// enough to count as "frequent words" for SLCT, which is how
+		// parsing errors on critical events arise (Finding 6).
+		return "/" + ipPool[rng.Intn(len(ipPool))] + ":50010"
+	case FieldIPSrc:
+		// Client-side address: pool IP with an ephemeral port.
+		return fmt.Sprintf("/%s:%d", ipPool[rng.Intn(len(ipPool))], 40000+rng.Intn(20000))
+	case FieldIPBare:
+		return ipPool[rng.Intn(len(ipPool))]
+	case FieldBlockID:
+		v := rng.Int63()
+		if rng.Intn(2) == 0 {
+			return "blk_-" + strconv.FormatInt(v, 10)
+		}
+		return "blk_" + strconv.FormatInt(v, 10)
+	case FieldCoreID:
+		return "core." + strconv.Itoa(rng.Intn(4096))
+	case FieldPath:
+		return fmt.Sprintf("/user/%s/job_%d/task_%09d_%04d/part-%05d",
+			userNames[rng.Intn(len(userNames))], rng.Intn(1000), rng.Int63n(1e9), rng.Intn(10000), rng.Intn(100))
+	case FieldHex:
+		return fmt.Sprintf("0x%08x", rng.Uint32())
+	case FieldFloat:
+		return strconv.FormatFloat(float64(rng.Intn(100000))/100.0, 'f', 2, 64)
+	case FieldNode:
+		return fmt.Sprintf("node-%d", rng.Intn(1024))
+	case FieldUser:
+		return userNames[rng.Intn(len(userNames))]
+	case FieldDuration:
+		return strconv.Itoa(rng.Intn(10000)) + "ms"
+	case FieldSize:
+		// Real HDFS blocks are overwhelmingly the full 64 MB; partial tail
+		// blocks carry arbitrary sizes.
+		if rng.Float64() < 0.85 {
+			return "67108864"
+		}
+		return strconv.Itoa(rng.Intn(1 << 26))
+	case FieldWord:
+		return wordBank[rng.Intn(len(wordBank))]
+	case FieldExc:
+		return excClasses[rng.Intn(len(excClasses))]
+	case FieldZxid:
+		return fmt.Sprintf("0x%x", rng.Int63n(1<<40))
+	case FieldSession:
+		return fmt.Sprintf("0x%x", rng.Int63())
+	case FieldRIdx:
+		// Replica/responder indices are tiny and heavily repeated —
+		// "PacketResponder 0/1/2" are distinct frequent words to SLCT,
+		// one of the critical-event parsing-error sources of Finding 6.
+		return strconv.Itoa(rng.Intn(3))
+	case FieldProg:
+		return progNames[rng.Intn(len(progNames))]
+	case FieldHost:
+		return fmt.Sprintf("%s:%d", hostNames[rng.Intn(len(hostNames))], 1+rng.Intn(65535))
+	default:
+		return "?"
+	}
+}
+
+// fieldTokenLen reports how many whitespace tokens a rendered field
+// occupies (exception strings span several words; everything else is one).
+func fieldTokenLen(f Field) int {
+	if f == FieldExc {
+		// Every entry in excClasses has a fixed shape; use the minimum so
+		// length accounting stays conservative.
+		n := len(strings.Fields(excClasses[0]))
+		for _, e := range excClasses[1:] {
+			if l := len(strings.Fields(e)); l < n {
+				n = l
+			}
+		}
+		return n
+	}
+	return 1
+}

@@ -1,0 +1,192 @@
+package gen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGenerateHDFSSessionsBasics(t *testing.T) {
+	d, err := GenerateHDFSSessions(HDFSOptions{Seed: 1, Sessions: 500, AnomalyRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Labels) != 500 {
+		t.Fatalf("labels for %d sessions, want 500", len(d.Labels))
+	}
+	anomalies := d.NumAnomalies()
+	if anomalies < 10 || anomalies > 50 {
+		t.Errorf("anomalies = %d, want ≈25 at rate 0.05", anomalies)
+	}
+	// Line numbers are sequential.
+	for i, m := range d.Messages {
+		if m.LineNo != i+1 {
+			t.Fatalf("LineNo %d at index %d", m.LineNo, i)
+		}
+	}
+}
+
+func TestGenerateHDFSSessionsValidation(t *testing.T) {
+	if _, err := GenerateHDFSSessions(HDFSOptions{Sessions: 0}); err == nil {
+		t.Error("zero sessions accepted")
+	}
+	d, err := GenerateHDFSSessions(HDFSOptions{Seed: 2, Sessions: 50, AnomalyRate: -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumAnomalies() != 0 {
+		t.Error("negative rate not clamped to 0")
+	}
+}
+
+func TestHDFSSessionsDeterministic(t *testing.T) {
+	a, err := GenerateHDFSSessions(HDFSOptions{Seed: 4, Sessions: 200, AnomalyRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateHDFSSessions(HDFSOptions{Seed: 4, Sessions: 200, AnomalyRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Messages, b.Messages) || !reflect.DeepEqual(a.Labels, b.Labels) {
+		t.Error("session generation not deterministic")
+	}
+}
+
+func TestHDFSBlockIDConsistentWithinSession(t *testing.T) {
+	d, err := GenerateHDFSSessions(HDFSOptions{Seed: 5, Sessions: 100, AnomalyRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range d.Messages {
+		if m.Session == "" {
+			t.Fatal("message without session")
+		}
+		if !strings.Contains(m.Content, m.Session) {
+			t.Fatalf("line %d content %q does not mention its block %q",
+				m.LineNo, m.Content, m.Session)
+		}
+		if _, ok := d.Labels[m.Session]; !ok {
+			t.Fatalf("session %q has no label", m.Session)
+		}
+	}
+}
+
+func TestHDFSInterleavePreservesSessionOrder(t *testing.T) {
+	// Every session must start with allocateBlock (E22) — intra-session
+	// order survives interleaving.
+	d, err := GenerateHDFSSessions(HDFSOptions{Seed: 6, Sessions: 300, AnomalyRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstEvent := make(map[string]string)
+	for _, m := range d.Messages {
+		if _, ok := firstEvent[m.Session]; !ok {
+			firstEvent[m.Session] = m.TruthID
+		}
+	}
+	for s, ev := range firstEvent {
+		if ev != "HDFS-E22" {
+			t.Fatalf("session %s starts with %s, want HDFS-E22", s, ev)
+		}
+	}
+}
+
+func TestHDFSAnomalySessionsStructurallyDeviant(t *testing.T) {
+	// Anomalous sessions must contain at least one event type that normal
+	// lifecycles never produce — that is the PCA detector's signal.
+	d, err := GenerateHDFSSessions(HDFSOptions{Seed: 7, Sessions: 2000, AnomalyRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failureOnly := map[string]bool{
+		"HDFS-E7": true, "HDFS-E14": true, "HDFS-E12": true, "HDFS-E24": true,
+		"HDFS-E27": true, "HDFS-E1": true, "HDFS-E20": true, "HDFS-E17": true,
+		"HDFS-E25": true, "HDFS-E13": true, "HDFS-E8": true, "HDFS-E4": true,
+		"HDFS-E29": true, "HDFS-E28": true,
+	}
+	hasFailure := make(map[string]bool)
+	for _, m := range d.Messages {
+		if failureOnly[m.TruthID] {
+			hasFailure[m.Session] = true
+		}
+	}
+	for s, anomalous := range d.Labels {
+		if anomalous && !hasFailure[s] {
+			t.Errorf("anomalous session %s has no failure event", s)
+		}
+		if !anomalous && hasFailure[s] {
+			t.Errorf("normal session %s contains a failure-only event", s)
+		}
+	}
+}
+
+func TestHDFSAnomalyKindsCovered(t *testing.T) {
+	d, err := GenerateHDFSSessions(HDFSOptions{Seed: 8, Sessions: 5000, AnomalyRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range anomalyKinds {
+		if d.AnomalyKinds[kind] == 0 {
+			t.Errorf("anomaly kind %q never injected in 5000 sessions at 10%%", kind)
+		}
+	}
+	total := 0
+	for _, n := range d.AnomalyKinds {
+		total += n
+	}
+	if total != d.NumAnomalies() {
+		t.Errorf("kind counts sum to %d, labels count %d", total, d.NumAnomalies())
+	}
+}
+
+func TestHDFSRate(t *testing.T) {
+	d, err := GenerateHDFSSessions(HDFSOptions{Seed: 9, Sessions: 10000, AnomalyRate: 0.0293})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(d.NumAnomalies()) / 10000
+	if rate < 0.02 || rate > 0.04 {
+		t.Errorf("anomaly rate = %.4f, want ≈0.0293", rate)
+	}
+}
+
+func TestHDFS29Events(t *testing.T) {
+	if len(hdfsSpecs) != 29 {
+		t.Fatalf("HDFS catalogue has %d events, Table I says 29", len(hdfsSpecs))
+	}
+	// All 29 must be exercised by sessions at a reasonable scale.
+	d, err := GenerateHDFSSessions(HDFSOptions{Seed: 10, Sessions: 20000, AnomalyRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DistinctEvents(d.Messages); got < 27 {
+		t.Errorf("sessions exercised only %d of 29 events", got)
+	}
+}
+
+func TestInterleaveCoversAllMessages(t *testing.T) {
+	// Property: interleaving is a permutation — no message lost or
+	// duplicated, and per-session subsequences keep their order.
+	d, err := GenerateHDFSSessions(HDFSOptions{Seed: 30, Sessions: 150, AnomalyRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSession := map[string][]string{}
+	for _, m := range d.Messages {
+		perSession[m.Session] = append(perSession[m.Session], m.TruthID)
+	}
+	// Each session still begins with allocate and contains at least the
+	// allocate event exactly once.
+	for s, seq := range perSession {
+		allocs := 0
+		for _, e := range seq {
+			if e == "HDFS-E22" {
+				allocs++
+			}
+		}
+		if allocs != 1 {
+			t.Fatalf("session %s has %d allocateBlock events", s, allocs)
+		}
+	}
+}

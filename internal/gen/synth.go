@@ -1,0 +1,144 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The hand-written catalogue heads below cover the well-known events of each
+// system. Real catalogues are far larger (Table I: BGL has 376 events, HPC
+// 105, Zookeeper 80); the long tail is synthesised here. Synthesis is
+// deterministic per dataset (fixed seed), so the catalogues — and therefore
+// every experiment — are stable across runs.
+
+type synthStyle struct {
+	// prefixes start a message (subsystem tags like "ciod:" or "kernel:").
+	prefixes []string
+	// fieldPalette lists the variable kinds the system's messages carry.
+	fieldPalette []Field
+	// fieldProb is the chance each appended slot is a field vs a literal.
+	fieldProb float64
+	// longTailProb is the chance a spec is "long" (towards maxLen), which
+	// models stack-dump style events in supercomputer logs.
+	longTailProb float64
+}
+
+var synthVerbs = []string{
+	"detected", "generating", "starting", "stopping", "committed",
+	"flushing", "rejecting", "scheduling", "updating", "verifying",
+	"closing", "opening", "binding", "releasing", "allocating",
+	"synchronizing", "replaying", "parsing", "installed", "corrected",
+	"disabling", "enabling", "aborting", "retrying", "suspending",
+	"resuming", "probing", "mounting", "unmounting", "draining",
+}
+
+var synthNouns = []string{
+	"cache", "register", "directory", "inode", "superblock", "checkpoint",
+	"barrier", "semaphore", "mutex", "scheduler", "allocator", "daemon",
+	"monitor", "controller", "interface", "adapter", "partition", "cluster",
+	"namespace", "descriptor", "pipeline", "transaction", "segment",
+	"channel", "buffer", "queue", "thread", "socket", "stream", "replica",
+	"journal", "snapshot", "heartbeat", "lease", "quorum", "volume",
+	"fabric", "midplane", "nodecard", "linkcard",
+}
+
+var synthAdjectives = []string{
+	"invalid", "corrupted", "stale", "redundant", "orphaned", "unexpected",
+	"fatal", "transient", "partial", "missing", "duplicate", "degraded",
+	"uncorrectable", "correctable", "critical", "spurious",
+}
+
+var synthTails = [][]string{
+	{"rc", "=", "<int>"},
+	{"status", "=", "<hex>"},
+	{"on", "<node>"},
+	{"after", "<dur>"},
+	{"errno", "<int>"},
+	{"at", "address", "<hex>"},
+	{"retry", "count", "<int>"},
+	{"by", "user", "<user>"},
+}
+
+// synthesizeSpecs deterministically builds count additional specs with IDs
+// "<prefix>-S<i>", each rendering to between minLen and maxLen whitespace
+// tokens. Generated event templates are guaranteed distinct from each other
+// and from the supplied existing templates.
+func synthesizeSpecs(idPrefix string, seed int64, count, minLen, maxLen int, style synthStyle, existing []Spec) []Spec {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]bool, count+len(existing))
+	for _, s := range existing {
+		seen[s.EventTemplate()] = true
+	}
+	specs := make([]Spec, 0, count)
+	for i := 0; len(specs) < count; i++ {
+		target := minLen + rng.Intn(max(1, maxLen/4-minLen+1))
+		if rng.Float64() < style.longTailProb {
+			target = maxLen/2 + rng.Intn(maxLen-maxLen/2+1)
+		}
+		dsl := buildSynthDSL(rng, target, style)
+		id := fmt.Sprintf("%s-S%d", idPrefix, len(specs)+1)
+		spec, err := ParseSpec(id, dsl)
+		if err != nil {
+			// buildSynthDSL only emits known fields; an error here is a
+			// programming bug in the synthesiser.
+			panic(err)
+		}
+		key := spec.EventTemplate()
+		if seen[key] || spec.MinTokens() < minLen || spec.MinTokens() > maxLen {
+			continue
+		}
+		seen[key] = true
+		specs = append(specs, spec)
+	}
+	return specs
+}
+
+// buildSynthDSL composes one spec DSL string of roughly target tokens.
+func buildSynthDSL(rng *rand.Rand, target int, style synthStyle) string {
+	words := make([]string, 0, target)
+	if len(style.prefixes) > 0 {
+		words = append(words, style.prefixes[rng.Intn(len(style.prefixes))])
+	}
+	// Head phrase: [adjective] noun verb — enough literal signal for
+	// parsers to anchor on.
+	if rng.Intn(2) == 0 {
+		words = append(words, synthAdjectives[rng.Intn(len(synthAdjectives))])
+	}
+	words = append(words,
+		synthNouns[rng.Intn(len(synthNouns))],
+		synthVerbs[rng.Intn(len(synthVerbs))])
+	// Body: alternate literals and fields until close to target, leaving
+	// room for a tail clause.
+	for len(words) < target-3 {
+		if rng.Float64() < style.fieldProb {
+			f := style.fieldPalette[rng.Intn(len(style.fieldPalette))]
+			words = append(words, "<"+fieldName(f)+">")
+			continue
+		}
+		words = append(words, synthNouns[rng.Intn(len(synthNouns))])
+	}
+	if len(words) <= target-3 && rng.Intn(2) == 0 {
+		words = append(words, synthTails[rng.Intn(len(synthTails))]...)
+	}
+	for len(words) < target {
+		words = append(words, synthNouns[rng.Intn(len(synthNouns))])
+	}
+	out := ""
+	for i, w := range words {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}
+
+// fieldName is the inverse of the fieldNames table, used when composing DSL.
+func fieldName(f Field) string {
+	for name, v := range fieldNames {
+		if v == f {
+			return name
+		}
+	}
+	return "int"
+}

@@ -1,0 +1,96 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix: eigenvalues in
+// descending order with matching eigenvectors (unit length, one per entry).
+type Eigen struct {
+	Values  []float64
+	Vectors [][]float64
+}
+
+// SymmetricEigen computes all eigenvalues and eigenvectors of a symmetric
+// matrix with the cyclic Jacobi rotation method. Jacobi is exact enough and
+// robust for the modest dimensionality of event-count matrices (tens of
+// event types), and needs nothing outside the stdlib.
+func SymmetricEigen(m *Matrix) (*Eigen, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("%w: eigen of %dx%d", ErrDimension, m.Rows, m.Cols)
+	}
+	n := m.Rows
+	a := m.Clone()
+	// v accumulates rotations; starts as identity.
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const (
+		maxSweeps = 100
+		eps       = 1e-12
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += a.At(i, j) * a.At(i, j)
+			}
+		}
+		if off < eps {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < eps/float64(n*n) {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(a, v, p, q, c, s)
+			}
+		}
+	}
+	eig := &Eigen{Values: make([]float64, n), Vectors: make([][]float64, n)}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return a.At(order[x], order[x]) > a.At(order[y], order[y]) })
+	for rank, idx := range order {
+		eig.Values[rank] = a.At(idx, idx)
+		vec := make([]float64, n)
+		for r := 0; r < n; r++ {
+			vec[r] = v.At(r, idx)
+		}
+		eig.Vectors[rank] = vec
+	}
+	return eig, nil
+}
+
+// rotate applies the Jacobi rotation G(p,q,θ) to a (two-sided) and
+// accumulates it into v (one-sided).
+func rotate(a, v *Matrix, p, q int, c, s float64) {
+	n := a.Rows
+	for k := 0; k < n; k++ {
+		akp, akq := a.At(k, p), a.At(k, q)
+		a.Set(k, p, c*akp-s*akq)
+		a.Set(k, q, s*akp+c*akq)
+	}
+	for k := 0; k < n; k++ {
+		apk, aqk := a.At(p, k), a.At(q, k)
+		a.Set(p, k, c*apk-s*aqk)
+		a.Set(q, k, s*apk+c*aqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}

@@ -1,0 +1,218 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Error("Set/At broken")
+	}
+	row := m.Row(1)
+	row[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Error("Row must be a view, not a copy")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	got, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", got)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestColumnMeansAndCenter(t *testing.T) {
+	m := NewMatrix(3, 2)
+	for i, v := range []float64{1, 10, 2, 20, 3, 30} {
+		m.Data[i] = v
+	}
+	means := m.ColumnMeans()
+	if means[0] != 2 || means[1] != 20 {
+		t.Errorf("ColumnMeans = %v", means)
+	}
+	m.CenterColumns()
+	after := m.ColumnMeans()
+	if !almostEqual(after[0], 0, 1e-12) || !almostEqual(after[1], 0, 1e-12) {
+		t.Errorf("means after centering = %v", after)
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	// Two perfectly correlated columns.
+	m := NewMatrix(4, 2)
+	for i := 0; i < 4; i++ {
+		x := float64(i)
+		m.Set(i, 0, x)
+		m.Set(i, 1, 2*x)
+	}
+	m.CenterColumns()
+	cov := m.Covariance()
+	if !almostEqual(cov.At(0, 1), 2*cov.At(0, 0), 1e-9) {
+		t.Errorf("cov(x,2x) = %v, want 2*var(x)=%v", cov.At(0, 1), 2*cov.At(0, 0))
+	}
+	if !almostEqual(cov.At(0, 1), cov.At(1, 0), 1e-12) {
+		t.Error("covariance not symmetric")
+	}
+}
+
+func TestSymmetricEigenDiagonal(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 5)
+	m.Set(2, 2, 3)
+	eig, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, 1}
+	for i, v := range want {
+		if !almostEqual(eig.Values[i], v, 1e-9) {
+			t.Errorf("eigenvalue[%d] = %v, want %v", i, eig.Values[i], v)
+		}
+	}
+}
+
+func TestSymmetricEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2)
+	eig, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(eig.Values[0], 3, 1e-9) || !almostEqual(eig.Values[1], 1, 1e-9) {
+		t.Errorf("eigenvalues = %v, want [3 1]", eig.Values)
+	}
+	// Eigenvector of λ=3 is (1,1)/√2 up to sign.
+	v := eig.Vectors[0]
+	if !almostEqual(math.Abs(v[0]), math.Sqrt2/2, 1e-9) || !almostEqual(v[0], v[1], 1e-9) {
+		t.Errorf("leading eigenvector = %v", v)
+	}
+}
+
+func TestSymmetricEigenRejectsNonSquare(t *testing.T) {
+	if _, err := SymmetricEigen(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+func TestSymmetricEigenProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		m := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				m.Set(i, j, v)
+				m.Set(j, i, v)
+			}
+		}
+		eig, err := SymmetricEigen(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A·v = λ·v for every pair.
+		for k := 0; k < n; k++ {
+			av, err := m.MulVec(eig.Vectors[k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if !almostEqual(av[i], eig.Values[k]*eig.Vectors[k][i], 1e-6) {
+					t.Fatalf("trial %d: A·v ≠ λ·v at k=%d i=%d: %v vs %v",
+						trial, k, i, av[i], eig.Values[k]*eig.Vectors[k][i])
+				}
+			}
+		}
+		// Orthonormal eigenvectors.
+		for a := 0; a < n; a++ {
+			for b := a; b < n; b++ {
+				dot := Dot(eig.Vectors[a], eig.Vectors[b])
+				want := 0.0
+				if a == b {
+					want = 1
+				}
+				if !almostEqual(dot, want, 1e-6) {
+					t.Fatalf("trial %d: v%d·v%d = %v, want %v", trial, a, b, dot, want)
+				}
+			}
+		}
+		// Trace preservation: Σλ = tr(A).
+		trace, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += m.At(i, i)
+			sum += eig.Values[i]
+		}
+		if !almostEqual(trace, sum, 1e-6) {
+			t.Fatalf("trial %d: Σλ=%v ≠ tr=%v", trial, sum, trace)
+		}
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if eig.Values[i] > eig.Values[i-1]+1e-9 {
+				t.Fatalf("trial %d: eigenvalues not sorted: %v", trial, eig.Values)
+			}
+		}
+	}
+}
+
+func TestDotProperty(t *testing.T) {
+	f := func(a []float64) bool {
+		for _, x := range a {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		return Dot(a, a) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCovariancePSD(t *testing.T) {
+	// Covariance matrices are positive semi-definite: all eigenvalues ≥ 0.
+	rng := rand.New(rand.NewSource(9))
+	m := NewMatrix(30, 6)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	m.CenterColumns()
+	eig, err := SymmetricEigen(m.Covariance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range eig.Values {
+		if v < -1e-9 {
+			t.Errorf("negative eigenvalue %v in covariance", v)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package linalg is the dense linear-algebra substrate for the PCA-based
+// anomaly detector: a row-major matrix type, covariance computation, and a
+// Jacobi eigendecomposition for symmetric matrices. Stdlib only.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDimension is returned for operations on incompatible shapes.
+var ErrDimension = errors.New("linalg: dimension mismatch")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+}
+
+// MulVec computes m·x for a vector x of length Cols.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("%w: %dx%d · %d", ErrDimension, m.Rows, m.Cols, len(x))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// ColumnMeans returns the mean of each column.
+func (m *Matrix) ColumnMeans() []float64 {
+	means := make([]float64, m.Cols)
+	if m.Rows == 0 {
+		return means
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(m.Rows)
+	}
+	return means
+}
+
+// CenterColumns subtracts each column's mean in place and returns the means.
+func (m *Matrix) CenterColumns() []float64 {
+	means := m.ColumnMeans()
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] -= means[j]
+		}
+	}
+	return means
+}
+
+// Covariance computes the column covariance matrix (1/(n-1))·XᵀX of an
+// already-centred matrix. For n < 2 it divides by n to stay defined.
+func (m *Matrix) Covariance() *Matrix {
+	out := NewMatrix(m.Cols, m.Cols)
+	den := float64(m.Rows - 1)
+	if m.Rows < 2 {
+		den = float64(m.Rows)
+		if den == 0 {
+			return out
+		}
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for a := 0; a < m.Cols; a++ {
+			va := row[a]
+			if va == 0 {
+				continue
+			}
+			outRow := out.Row(a)
+			for b := 0; b < m.Cols; b++ {
+				outRow[b] += va * row[b]
+			}
+		}
+	}
+	for k := range out.Data {
+		out.Data[k] /= den
+	}
+	return out
+}
+
+// Dot is the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

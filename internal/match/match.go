@@ -1,0 +1,159 @@
+// Package match applies an extracted template set to new log messages: the
+// online half of the toolkit. Parsers mine templates from historical logs
+// offline; production systems then need to map each incoming line to an
+// event in O(line length), independent of template-set size. Matcher is a
+// token trie with wildcard edges that does exactly that — the component a
+// downstream log-mining deployment runs in its ingest path.
+package match
+
+import (
+	"errors"
+	"fmt"
+
+	"logparse/internal/core"
+)
+
+// ErrNoMatch is returned by Match when no template covers the message.
+var ErrNoMatch = errors.New("match: no template matches")
+
+// node is one trie level: exact-token edges plus an optional wildcard edge.
+type node struct {
+	children map[string]*node
+	wildcard *node
+	// template is ≥0 when a template terminates at this node.
+	template int
+}
+
+func newNode() *node { return &node{children: make(map[string]*node), template: -1} }
+
+// Matcher matches token sequences against a fixed template set.
+type Matcher struct {
+	root      map[int]*node // by token length: templates only match equal length
+	templates []core.Template
+}
+
+// New builds a matcher from templates. Duplicate template token sequences
+// are rejected (they would make matches ambiguous).
+func New(templates []core.Template) (*Matcher, error) {
+	m := &Matcher{
+		root:      make(map[int]*node),
+		templates: append([]core.Template(nil), templates...),
+	}
+	for idx, t := range templates {
+		l := len(t.Tokens)
+		if m.root[l] == nil {
+			m.root[l] = newNode()
+		}
+		n := m.root[l]
+		for _, tok := range t.Tokens {
+			if tok == core.Wildcard {
+				if n.wildcard == nil {
+					n.wildcard = newNode()
+				}
+				n = n.wildcard
+				continue
+			}
+			child, ok := n.children[tok]
+			if !ok {
+				child = newNode()
+				n.children[tok] = child
+			}
+			n = child
+		}
+		if n.template >= 0 {
+			return nil, fmt.Errorf("match: templates %s and %s are identical",
+				templates[n.template].ID, t.ID)
+		}
+		n.template = idx
+	}
+	return m, nil
+}
+
+// FromResult builds a matcher from a parse result's templates.
+func FromResult(res *core.ParseResult) (*Matcher, error) { return New(res.Templates) }
+
+// NumTemplates reports the size of the template set.
+func (m *Matcher) NumTemplates() int { return len(m.templates) }
+
+// Match returns the template covering the token sequence. Exact-token edges
+// are preferred over wildcard edges (a message matching both "a b" and
+// "a *" maps to "a b"), matching the intuition that constants carry the
+// event identity.
+func (m *Matcher) Match(tokens []string) (core.Template, error) {
+	root := m.root[len(tokens)]
+	if root == nil {
+		return core.Template{}, fmt.Errorf("%w: no template of length %d", ErrNoMatch, len(tokens))
+	}
+	if idx := matchFrom(root, tokens); idx >= 0 {
+		return m.templates[idx], nil
+	}
+	return core.Template{}, ErrNoMatch
+}
+
+// matchFrom walks the trie with backtracking (exact edge first, then
+// wildcard). The trie is deduplicated, so backtracking touches each node at
+// most once per position in the worst case.
+func matchFrom(n *node, tokens []string) int {
+	if len(tokens) == 0 {
+		return n.template
+	}
+	if child, ok := n.children[tokens[0]]; ok {
+		if idx := matchFrom(child, tokens[1:]); idx >= 0 {
+			return idx
+		}
+	}
+	if n.wildcard != nil {
+		if idx := matchFrom(n.wildcard, tokens[1:]); idx >= 0 {
+			return idx
+		}
+	}
+	return -1
+}
+
+// MatchContent tokenises content and matches it.
+func (m *Matcher) MatchContent(content string) (core.Template, error) {
+	return m.Match(core.Tokenize(content))
+}
+
+// Apply maps every message to a template, producing a ParseResult in the
+// matcher's template space; unmatched messages become outliers.
+func (m *Matcher) Apply(msgs []core.LogMessage) *core.ParseResult {
+	index := make(map[string]int, len(m.templates))
+	for i, t := range m.templates {
+		index[t.ID] = i
+	}
+	res := &core.ParseResult{
+		Templates:  append([]core.Template(nil), m.templates...),
+		Assignment: make([]int, len(msgs)),
+	}
+	for i := range msgs {
+		tokens := msgs[i].Tokens
+		if tokens == nil {
+			tokens = core.Tokenize(msgs[i].Content)
+		}
+		t, err := m.Match(tokens)
+		if err != nil {
+			res.Assignment[i] = core.OutlierID
+			continue
+		}
+		res.Assignment[i] = index[t.ID]
+	}
+	return res
+}
+
+// Parameters extracts the variable-position values of a message under its
+// matched template — the runtime information of interest (§I: "the values
+// of states and parameters").
+func (m *Matcher) Parameters(tokens []string) (core.Template, []string, error) {
+	t, err := m.Match(tokens)
+	if err != nil {
+		return core.Template{}, nil, err
+	}
+	var params []string
+	for i, tok := range t.Tokens {
+		if tok == core.Wildcard {
+			params = append(params, tokens[i])
+		}
+	}
+	return t, params, nil
+}

@@ -1,0 +1,264 @@
+package anomaly
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"logparse/internal/core"
+	"logparse/internal/gen"
+	"logparse/internal/linalg"
+)
+
+// fixtureMsgs builds a tiny parsed corpus: sessions s1..s3 with events A/B.
+func fixtureMsgs() ([]core.LogMessage, *core.ParseResult) {
+	mk := func(line int, session, content string) core.LogMessage {
+		return core.LogMessage{LineNo: line, Session: session, Content: content, Tokens: core.Tokenize(content)}
+	}
+	msgs := []core.LogMessage{
+		mk(1, "s1", "a x"),
+		mk(2, "s1", "a y"),
+		mk(3, "s2", "a z"),
+		mk(4, "s2", "b q"),
+		mk(5, "s3", "b r"),
+		mk(6, "", "no session line"),
+	}
+	res := &core.ParseResult{
+		Templates: []core.Template{
+			{ID: "A", Tokens: []string{"a", core.Wildcard}},
+			{ID: "B", Tokens: []string{"b", core.Wildcard}},
+		},
+		Assignment: []int{0, 0, 0, 1, 1, core.OutlierID},
+	}
+	return msgs, res
+}
+
+func TestBuildMatrix(t *testing.T) {
+	msgs, res := fixtureMsgs()
+	cm, err := BuildMatrix(msgs, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.Sessions) != 3 {
+		t.Fatalf("sessions = %v", cm.Sessions)
+	}
+	if len(cm.Events) != 2 {
+		t.Fatalf("events = %v", cm.Events)
+	}
+	at := func(session, event string) float64 {
+		var si, ej int = -1, -1
+		for i, s := range cm.Sessions {
+			if s == session {
+				si = i
+			}
+		}
+		for j, e := range cm.Events {
+			if e == event {
+				ej = j
+			}
+		}
+		return cm.Y.At(si, ej)
+	}
+	if at("s1", "A") != 2 || at("s1", "B") != 0 || at("s2", "A") != 1 ||
+		at("s2", "B") != 1 || at("s3", "B") != 1 {
+		t.Errorf("matrix wrong: %+v", cm.Y)
+	}
+}
+
+func TestBuildMatrixOutlierBinnedByLength(t *testing.T) {
+	msgs := []core.LogMessage{
+		{LineNo: 1, Session: "s1", Content: "one two three", Tokens: []string{"one", "two", "three"}},
+		{LineNo: 2, Session: "s1", Content: "x y", Tokens: []string{"x", "y"}},
+	}
+	res := &core.ParseResult{Assignment: []int{core.OutlierID, core.OutlierID}}
+	cm, err := BuildMatrix(msgs, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.Events) != 2 {
+		t.Fatalf("outliers of different lengths must get distinct bins: %v", cm.Events)
+	}
+}
+
+func TestBuildMatrixNoSessions(t *testing.T) {
+	msgs := []core.LogMessage{{LineNo: 1, Content: "a", Tokens: []string{"a"}}}
+	res := &core.ParseResult{Templates: []core.Template{{ID: "A"}}, Assignment: []int{0}}
+	if _, err := BuildMatrix(msgs, res); !errors.Is(err, ErrNoSessions) {
+		t.Errorf("err = %v, want ErrNoSessions", err)
+	}
+}
+
+func TestTFIDFDownweightsUbiquitousEvents(t *testing.T) {
+	msgs, res := fixtureMsgs()
+	cm, err := BuildMatrix(msgs, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := cm.TFIDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Event A occurs in 2 of 3 sessions, B in 2 of 3: idf = ln(3/2).
+	idf := math.Log(3.0 / 2.0)
+	for i, s := range cm.Sessions {
+		for j := range cm.Events {
+			want := cm.Y.At(i, j) * idf
+			if math.Abs(w.At(i, j)-want) > 1e-12 {
+				t.Errorf("w[%s][%s] = %v, want %v", s, cm.Events[j], w.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestDetectPlantedAnomaly(t *testing.T) {
+	// 200 stereotyped sessions plus one deviant: PCA must flag exactly the
+	// deviant.
+	var msgs []core.LogMessage
+	add := func(session, event string) {
+		msgs = append(msgs, core.LogMessage{
+			LineNo: len(msgs) + 1, Session: session,
+			Content: event + " detail", Tokens: []string{event, "detail"},
+		})
+	}
+	for i := 0; i < 200; i++ {
+		s := session(i)
+		add(s, "alloc")
+		add(s, "write")
+		add(s, "write")
+		// Strong legitimate variance: half the sessions verify, with
+		// bursty counts. TF-IDF zeroes the ubiquitous columns, so this is
+		// the variance the PCA normal space is built from.
+		if i%2 == 0 {
+			for c := 0; c <= i%8; c++ {
+				add(s, "verify")
+			}
+		}
+	}
+	add("deviant", "alloc")
+	add("deviant", "failure")
+	add("deviant", "failure")
+	parsed := parseByFirstToken(msgs)
+	// K is pinned to the single legitimate variance direction: with one
+	// planted anomaly the variance-fraction heuristic would adopt the
+	// anomaly direction itself as a principal component (there is no
+	// anomaly *population* to stand out from).
+	opts := DefaultOptions()
+	opts.K = 1
+	res, err := Detect(msgs, parsed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := map[string]bool{}
+	for i, s := range res.Sessions {
+		if res.Flagged[i] {
+			flagged[s] = true
+		}
+	}
+	if !flagged["deviant"] {
+		t.Error("planted anomaly not flagged")
+	}
+	if len(flagged) > 3 {
+		t.Errorf("too many false flags: %v", flagged)
+	}
+}
+
+func session(i int) string { return "s" + string(rune('A'+i/26)) + string(rune('a'+i%26)) }
+
+// parseByFirstToken is a perfect parser for fixtures whose first token is
+// the event type.
+func parseByFirstToken(msgs []core.LogMessage) *core.ParseResult {
+	index := map[string]int{}
+	res := &core.ParseResult{Assignment: make([]int, len(msgs))}
+	for i, m := range msgs {
+		ev := m.Tokens[0]
+		idx, ok := index[ev]
+		if !ok {
+			idx = len(res.Templates)
+			index[ev] = idx
+			res.Templates = append(res.Templates, core.Template{ID: ev, Tokens: []string{ev, core.Wildcard}})
+		}
+		res.Assignment[i] = idx
+	}
+	return res
+}
+
+func TestDetectMatrixDegenerate(t *testing.T) {
+	cm := &CountMatrix{Sessions: []string{"s1"}, Events: []string{"A"}}
+	cm.Y = linalg.NewMatrix(1, 1)
+	cm.Y.Set(0, 0, 3)
+	if _, err := DetectMatrix(cm, DefaultOptions()); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("err = %v, want ErrDegenerate", err)
+	}
+}
+
+func TestQAlpha(t *testing.T) {
+	// Larger residual eigenvalues → larger threshold; empty residual → 0.
+	small := qAlpha([]float64{0.1, 0.05}, 0.001)
+	large := qAlpha([]float64{1.0, 0.5}, 0.001)
+	if small <= 0 || large <= small {
+		t.Errorf("qAlpha ordering wrong: small=%v large=%v", small, large)
+	}
+	if got := qAlpha(nil, 0.001); got != 0 {
+		t.Errorf("qAlpha(nil) = %v, want 0", got)
+	}
+	// Lower confidence (larger α) lowers the threshold.
+	losse := qAlpha([]float64{1.0, 0.5}, 0.05)
+	if losse >= large {
+		t.Errorf("α=0.05 threshold %v not below α=0.001 threshold %v", losse, large)
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	tests := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.999, 3.090232},
+	}
+	for _, tt := range tests {
+		if got := normalQuantile(tt.p); math.Abs(got-tt.want) > 1e-4 {
+			t.Errorf("normalQuantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	res := &Result{
+		Sessions: []string{"a", "b", "c", "d"},
+		Flagged:  []bool{true, true, false, false},
+	}
+	labels := map[string]bool{"a": true, "b": false, "c": true, "d": false}
+	rep := Evaluate(res, labels)
+	if rep.Reported != 2 || rep.Detected != 1 || rep.FalseAlarms != 1 || rep.TotalAnomalies != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.DetectedRate() != 0.5 || rep.FalseAlarmRate() != 0.5 {
+		t.Errorf("rates = %v, %v", rep.DetectedRate(), rep.FalseAlarmRate())
+	}
+}
+
+func TestEvaluateZeroDivision(t *testing.T) {
+	rep := Report{}
+	if rep.DetectedRate() != 0 || rep.FalseAlarmRate() != 0 {
+		t.Error("zero-division not guarded")
+	}
+}
+
+func TestEndToEndGroundTruthCleanOnHDFS(t *testing.T) {
+	// With exact parsing, the detector must detect a majority of injected
+	// anomalies with near-zero false alarms (the Table III GT row).
+	d, err := gen.GenerateHDFSSessions(gen.HDFSOptions{Seed: 21, Sessions: 3000, AnomalyRate: 0.0293})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Detect(d.Messages, gen.TruthResult(d.Messages), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Evaluate(res, d.Labels)
+	if rep.DetectedRate() < 0.5 {
+		t.Errorf("GT detection rate %.2f, want ≥0.5", rep.DetectedRate())
+	}
+	if rep.FalseAlarmRate() > 0.15 {
+		t.Errorf("GT false alarm rate %.2f, want ≤0.15", rep.FalseAlarmRate())
+	}
+}

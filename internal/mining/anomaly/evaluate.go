@@ -1,0 +1,59 @@
+package anomaly
+
+// Report is one row of Table III: how a detection run compares against the
+// labelled ground truth.
+type Report struct {
+	// Parser names the log parser used in the parsing step ("Ground truth"
+	// for the exactly-correct parse).
+	Parser string
+	// ParsingAccuracy is the F-measure of the parsing step, when known.
+	ParsingAccuracy float64
+	// Reported is the number of sessions PCA flagged.
+	Reported int
+	// Detected is the number of flagged sessions that are true anomalies.
+	Detected int
+	// FalseAlarms is the number of flagged sessions that are normal.
+	FalseAlarms int
+	// TotalAnomalies is the number of labelled anomalies in the dataset.
+	TotalAnomalies int
+}
+
+// DetectedRate is Detected/TotalAnomalies (the paper prints it as e.g.
+// "10,935 (64%)").
+func (r Report) DetectedRate() float64 {
+	if r.TotalAnomalies == 0 {
+		return 0
+	}
+	return float64(r.Detected) / float64(r.TotalAnomalies)
+}
+
+// FalseAlarmRate is FalseAlarms/Reported.
+func (r Report) FalseAlarmRate() float64 {
+	if r.Reported == 0 {
+		return 0
+	}
+	return float64(r.FalseAlarms) / float64(r.Reported)
+}
+
+// Evaluate scores a detection result against ground-truth session labels
+// (label true = anomalous).
+func Evaluate(res *Result, labels map[string]bool) Report {
+	var rep Report
+	for _, anomalous := range labels {
+		if anomalous {
+			rep.TotalAnomalies++
+		}
+	}
+	for i, s := range res.Sessions {
+		if !res.Flagged[i] {
+			continue
+		}
+		rep.Reported++
+		if labels[s] {
+			rep.Detected++
+		} else {
+			rep.FalseAlarms++
+		}
+	}
+	return rep
+}

@@ -1,0 +1,128 @@
+// Package anomaly reproduces the log-mining task of the paper's RQ3: the
+// PCA-based anomaly detection of Xu et al. (SOSP 2009) on HDFS logs. The
+// pipeline is §III-B's three steps: log parsing (done by any core.Parser),
+// event-count-matrix generation with TF-IDF weighting, and PCA detection
+// with the squared-prediction-error (SPE) statistic against the Q_α
+// threshold at α = 0.001.
+package anomaly
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"logparse/internal/core"
+	"logparse/internal/linalg"
+)
+
+// ErrNoSessions is returned when no message carries a session identifier.
+var ErrNoSessions = errors.New("anomaly: no sessions (block IDs) in input")
+
+// outlierColumn prefixes the event labels under which a parser's unassigned
+// messages are counted. Misparsed lines have to land somewhere — this is
+// how parsing errors propagate into the mining task — and the pipeline bins
+// them by token length, the weakest structural signal available for a line
+// the parser could not type. Binning (rather than one shared bucket)
+// matters: a single outlier column concentrates so much variance that PCA
+// adopts it as a principal direction and the anomaly signal vanishes.
+const outlierColumn = "<outlier>"
+
+// CountMatrix is the block-ID-by-event-count matrix Y of §III-B2.
+type CountMatrix struct {
+	// Sessions labels each row (block ID), sorted for determinism.
+	Sessions []string
+	// Events labels each column (event/template ID).
+	Events []string
+	// Y is the raw count matrix: Y[i][j] = occurrences of event j in
+	// session i.
+	Y *linalg.Matrix
+}
+
+// BuildMatrix groups parsed messages by session and counts events. The
+// parse result supplies the event of each message; messages without a
+// session are skipped (they belong to no block operation request).
+func BuildMatrix(msgs []core.LogMessage, res *core.ParseResult) (*CountMatrix, error) {
+	if err := res.Validate(len(msgs)); err != nil {
+		return nil, err
+	}
+	eventOf := func(i int) string {
+		if a := res.Assignment[i]; a != core.OutlierID {
+			return res.Templates[a].ID
+		}
+		return fmt.Sprintf("%s:len%d", outlierColumn, len(msgs[i].Tokens))
+	}
+	counts := make(map[string]map[string]int)
+	eventSet := make(map[string]bool)
+	for i := range msgs {
+		s := msgs[i].Session
+		if s == "" {
+			continue
+		}
+		ev := eventOf(i)
+		eventSet[ev] = true
+		row, ok := counts[s]
+		if !ok {
+			row = make(map[string]int, 8)
+			counts[s] = row
+		}
+		row[ev]++
+	}
+	if len(counts) == 0 {
+		return nil, ErrNoSessions
+	}
+	cm := &CountMatrix{
+		Sessions: make([]string, 0, len(counts)),
+		Events:   make([]string, 0, len(eventSet)),
+	}
+	for s := range counts {
+		cm.Sessions = append(cm.Sessions, s)
+	}
+	sort.Strings(cm.Sessions)
+	for e := range eventSet {
+		cm.Events = append(cm.Events, e)
+	}
+	sort.Strings(cm.Events)
+	col := make(map[string]int, len(cm.Events))
+	for j, e := range cm.Events {
+		col[e] = j
+	}
+	cm.Y = linalg.NewMatrix(len(cm.Sessions), len(cm.Events))
+	for i, s := range cm.Sessions {
+		for e, n := range counts[s] {
+			cm.Y.Set(i, col[e], float64(n))
+		}
+	}
+	return cm, nil
+}
+
+// TFIDF returns a TF-IDF-weighted copy of the count matrix: each cell is
+// multiplied by log(N/df_j), down-weighting event types common to most
+// blocks, the preprocessing heuristic §III-B2 adopts from information
+// retrieval.
+func (cm *CountMatrix) TFIDF() (*linalg.Matrix, error) {
+	n, k := cm.Y.Rows, cm.Y.Cols
+	if n == 0 || k == 0 {
+		return nil, fmt.Errorf("anomaly: TF-IDF of empty %dx%d matrix", n, k)
+	}
+	df := make([]float64, k)
+	for i := 0; i < n; i++ {
+		row := cm.Y.Row(i)
+		for j, v := range row {
+			if v > 0 {
+				df[j]++
+			}
+		}
+	}
+	w := linalg.NewMatrix(n, k)
+	for j := 0; j < k; j++ {
+		idf := 0.0
+		if df[j] > 0 {
+			idf = math.Log(float64(n) / df[j])
+		}
+		for i := 0; i < n; i++ {
+			w.Set(i, j, cm.Y.At(i, j)*idf)
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,127 @@
+// Package deployver implements the second log-mining task sketched in
+// §III-A: deployment verification after Shang et al. (ICSE 2013).
+//
+// Big-data applications are developed in a small pseudo-cloud and deployed
+// on a large cloud. To spare developers from reading the full deployment
+// log, the two logs are parsed, grouped into per-session event sequences,
+// and only the deployed sessions whose sequence was never seen in the
+// baseline are reported. Parsing quality is load-bearing: a bad parser
+// produces wrong event sequences, which destroys the reduction effect —
+// the toolkit's integration tests demonstrate exactly that sensitivity.
+package deployver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"logparse/internal/core"
+)
+
+// ErrNoSessions is returned when an input carries no session identifiers.
+var ErrNoSessions = errors.New("deployver: input has no sessions")
+
+// Divergence is one deployed session whose event sequence does not occur
+// in the baseline.
+type Divergence struct {
+	// Session identifies the deployed session.
+	Session string
+	// Sequence is the session's event sequence (template IDs in order).
+	Sequence []string
+}
+
+// Result summarises a verification run.
+type Result struct {
+	// BaselineSequences is the number of distinct event sequences in the
+	// baseline environment.
+	BaselineSequences int
+	// DeployedSessions is the number of sessions in the deployment log.
+	DeployedSessions int
+	// Divergent lists deployed sessions with unseen sequences.
+	Divergent []Divergence
+	// ReductionRatio is the fraction of deployed sessions a developer does
+	// NOT need to inspect (1 − divergent/deployed) — the workload
+	// reduction the technique exists for.
+	ReductionRatio float64
+}
+
+// Verify parses the concatenation of both logs with one parser (so both
+// sides share an event vocabulary), derives per-session event sequences,
+// and reports deployed sessions whose sequence is absent from the baseline.
+func Verify(baseline, deployed []core.LogMessage, parser core.Parser) (*Result, error) {
+	all := make([]core.LogMessage, 0, len(baseline)+len(deployed))
+	all = append(all, baseline...)
+	all = append(all, deployed...)
+	parsed, err := parser.Parse(all)
+	if err != nil {
+		return nil, fmt.Errorf("deployver: parse: %w", err)
+	}
+	if err := parsed.Validate(len(all)); err != nil {
+		return nil, err
+	}
+	baseSeqs, err := sequences(all[:len(baseline)], parsed, 0)
+	if err != nil {
+		return nil, fmt.Errorf("deployver: baseline: %w", err)
+	}
+	depSeqs, err := sequences(all[len(baseline):], parsed, len(baseline))
+	if err != nil {
+		return nil, fmt.Errorf("deployver: deployed: %w", err)
+	}
+
+	known := make(map[string]bool, len(baseSeqs))
+	for _, seq := range baseSeqs {
+		known[seqKey(seq.events)] = true
+	}
+	res := &Result{BaselineSequences: len(known), DeployedSessions: len(depSeqs)}
+	for _, seq := range depSeqs {
+		if known[seqKey(seq.events)] {
+			continue
+		}
+		res.Divergent = append(res.Divergent, Divergence{Session: seq.session, Sequence: seq.events})
+	}
+	if len(depSeqs) > 0 {
+		res.ReductionRatio = 1 - float64(len(res.Divergent))/float64(len(depSeqs))
+	}
+	return res, nil
+}
+
+// sessionSeq is one session's ordered event IDs.
+type sessionSeq struct {
+	session string
+	events  []string
+}
+
+// sequences groups messages by session, in message order. offset maps local
+// indices into the shared parse result.
+func sequences(msgs []core.LogMessage, parsed *core.ParseResult, offset int) ([]sessionSeq, error) {
+	bySession := make(map[string][]string)
+	var order []string
+	for i := range msgs {
+		s := msgs[i].Session
+		if s == "" {
+			continue
+		}
+		ev := "<outlier>"
+		if a := parsed.Assignment[offset+i]; a != core.OutlierID {
+			ev = parsed.Templates[a].ID
+		}
+		if _, ok := bySession[s]; !ok {
+			order = append(order, s)
+		}
+		bySession[s] = append(bySession[s], ev)
+	}
+	if len(bySession) == 0 {
+		return nil, ErrNoSessions
+	}
+	sort.Strings(order)
+	out := make([]sessionSeq, 0, len(order))
+	for _, s := range order {
+		out = append(out, sessionSeq{session: s, events: bySession[s]})
+	}
+	return out, nil
+}
+
+// seqKey canonicalises a sequence for set membership. Event order within a
+// session is preserved; Shang et al. compare ordered sequences.
+func seqKey(events []string) string { return strings.Join(events, "\x00") }

@@ -1,0 +1,137 @@
+package deployver
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"logparse/internal/core"
+	"logparse/internal/gen"
+	"logparse/internal/parsers/iplom"
+)
+
+// sessionLog builds a log where each session follows one of the given
+// event-sequence patterns (pattern i used by session i mod len).
+func sessionLog(prefix string, n int, patterns [][]string) []core.LogMessage {
+	var msgs []core.LogMessage
+	for i := 0; i < n; i++ {
+		pat := patterns[i%len(patterns)]
+		session := fmt.Sprintf("%s%d", prefix, i)
+		for _, ev := range pat {
+			content := fmt.Sprintf("%s step for item%d", ev, i)
+			msgs = append(msgs, core.LogMessage{
+				LineNo: len(msgs) + 1, Session: session,
+				Content: content, Tokens: core.Tokenize(content),
+			})
+		}
+	}
+	return msgs
+}
+
+func TestIdenticalEnvironmentsNoDivergence(t *testing.T) {
+	patterns := [][]string{{"start", "work", "finish"}, {"start", "finish"}}
+	base := sessionLog("b", 40, patterns)
+	dep := sessionLog("d", 40, patterns)
+	res, err := Verify(base, dep, iplom.New(iplom.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergent) != 0 {
+		t.Errorf("identical behaviour reported divergent: %v", res.Divergent)
+	}
+	if res.ReductionRatio != 1 {
+		t.Errorf("reduction = %v, want 1", res.ReductionRatio)
+	}
+	if res.BaselineSequences != 2 {
+		t.Errorf("baseline sequences = %d, want 2", res.BaselineSequences)
+	}
+}
+
+func TestNewBehaviourDetected(t *testing.T) {
+	base := sessionLog("b", 40, [][]string{{"start", "work", "finish"}})
+	// Deployment adds a failing pattern for some sessions.
+	dep := sessionLog("d", 39, [][]string{
+		{"start", "work", "finish"},
+		{"start", "work", "finish"},
+		{"start", "crash", "finish"},
+	})
+	res, err := Verify(base, dep, iplom.New(iplom.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergent) != 13 {
+		t.Errorf("divergent = %d, want 13 (every third session)", len(res.Divergent))
+	}
+	for _, d := range res.Divergent {
+		found := false
+		for _, ev := range d.Sequence {
+			if ev != d.Sequence[0] {
+				found = true
+			}
+		}
+		_ = found // sequence content is parser-dependent; presence is what matters
+	}
+}
+
+func TestMissingStepDetected(t *testing.T) {
+	base := sessionLog("b", 30, [][]string{{"start", "work", "finish"}})
+	dep := sessionLog("d", 30, [][]string{{"start", "finish"}})
+	res, err := Verify(base, dep, iplom.New(iplom.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergent) != 30 {
+		t.Errorf("all sessions dropped a step; divergent = %d, want 30", len(res.Divergent))
+	}
+	if res.ReductionRatio != 0 {
+		t.Errorf("reduction = %v, want 0", res.ReductionRatio)
+	}
+}
+
+func TestOrderMatters(t *testing.T) {
+	base := sessionLog("b", 20, [][]string{{"alpha", "beta"}})
+	dep := sessionLog("d", 20, [][]string{{"beta", "alpha"}})
+	res, err := Verify(base, dep, iplom.New(iplom.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergent) != 20 {
+		t.Errorf("reordered sequences not reported: %d", len(res.Divergent))
+	}
+}
+
+func TestNoSessionsError(t *testing.T) {
+	msgs := []core.LogMessage{{LineNo: 1, Content: "a b", Tokens: []string{"a", "b"}}}
+	if _, err := Verify(msgs, msgs, iplom.New(iplom.Options{})); !errors.Is(err, ErrNoSessions) {
+		t.Errorf("err = %v, want ErrNoSessions", err)
+	}
+}
+
+func TestHDFSFailuresDiverge(t *testing.T) {
+	// Integration: a healthy baseline vs a deployment with failures; the
+	// divergent set must be enriched in injected anomalies.
+	base, err := gen.GenerateHDFSSessions(gen.HDFSOptions{Seed: 1, Sessions: 400, AnomalyRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := gen.GenerateHDFSSessions(gen.HDFSOptions{Seed: 2, Sessions: 400, AnomalyRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Verify(base.Messages, dep.Messages, iplom.New(iplom.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	divergentAnomalies := 0
+	for _, d := range res.Divergent {
+		if dep.Labels[d.Session] {
+			divergentAnomalies++
+		}
+	}
+	if divergentAnomalies < dep.NumAnomalies()*8/10 {
+		t.Errorf("only %d of %d injected failures diverge", divergentAnomalies, dep.NumAnomalies())
+	}
+	if res.ReductionRatio < 0.5 {
+		t.Errorf("reduction ratio %.2f too low — the technique's value is gone", res.ReductionRatio)
+	}
+}

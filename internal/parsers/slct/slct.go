@@ -1,0 +1,183 @@
+// Package slct implements SLCT — the Simple Logfile Clustering Tool of
+// Vaarandi (IPOM 2003), the first automated log parser. SLCT is inspired by
+// association-rule mining: it finds frequent (position, word) pairs in one
+// pass, builds cluster candidates from the frequent pairs each line
+// contains in a second pass, and keeps candidates with enough support as
+// clusters. Lines whose candidate falls below support go to the outlier
+// cluster.
+package slct
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"logparse/internal/core"
+)
+
+// Options configures SLCT. The single important knob is the support
+// threshold (the paper's Finding 4 tuning target for SLCT).
+type Options struct {
+	// Support is the absolute support threshold s: a (position, word) pair
+	// is frequent, and a candidate becomes a cluster, when it occurs in at
+	// least Support lines. When 0, SupportFrac applies.
+	Support int
+	// SupportFrac expresses support as a fraction of the input size; used
+	// when Support is 0. Defaults to DefaultSupportFrac when both are 0.
+	SupportFrac float64
+}
+
+// DefaultSupportFrac is the relative support used when Options is zero.
+const DefaultSupportFrac = 0.005
+
+// Parser is a configured SLCT instance. It is stateless across Parse calls
+// and safe for concurrent use.
+type Parser struct {
+	opts Options
+}
+
+var _ core.Parser = (*Parser)(nil)
+
+// New creates an SLCT parser.
+func New(opts Options) *Parser { return &Parser{opts: opts} }
+
+// Name implements core.Parser.
+func (p *Parser) Name() string { return "SLCT" }
+
+// support resolves the effective absolute support for n lines.
+func (p *Parser) support(n int) int {
+	if p.opts.Support > 0 {
+		return p.opts.Support
+	}
+	frac := p.opts.SupportFrac
+	if frac <= 0 {
+		frac = DefaultSupportFrac
+	}
+	s := int(frac * float64(n))
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+// posWord is a (token position, word) pair, the item of SLCT's frequent-set
+// mining.
+type posWord struct {
+	pos  int
+	word string
+}
+
+// Parse implements core.Parser.
+func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
+	if len(msgs) == 0 {
+		return nil, core.ErrNoMessages
+	}
+	support := p.support(len(msgs))
+
+	// Pass 1: word-position vocabulary.
+	vocab := make(map[posWord]int)
+	for i := range msgs {
+		for pos, w := range msgs[i].Tokens {
+			vocab[posWord{pos, w}]++
+		}
+	}
+	frequent := make(map[posWord]bool)
+	for pw, n := range vocab {
+		if n >= support {
+			frequent[pw] = true
+		}
+	}
+
+	// Pass 2: cluster candidates keyed by the ordered frequent pairs a
+	// line contains.
+	type candidate struct {
+		pairs   []posWord
+		members []int
+	}
+	candidates := make(map[string]*candidate)
+	keys := make([]string, len(msgs)) // candidate key per message ("" = none)
+	for i := range msgs {
+		var pairs []posWord
+		var sb strings.Builder
+		for pos, w := range msgs[i].Tokens {
+			if frequent[posWord{pos, w}] {
+				pairs = append(pairs, posWord{pos, w})
+				sb.WriteString(strconv.Itoa(pos))
+				sb.WriteByte('=')
+				sb.WriteString(w)
+				sb.WriteByte('\x00')
+			}
+		}
+		if len(pairs) == 0 {
+			continue
+		}
+		key := sb.String()
+		keys[i] = key
+		c, ok := candidates[key]
+		if !ok {
+			c = &candidate{pairs: pairs}
+			candidates[key] = c
+		}
+		c.members = append(c.members, i)
+	}
+
+	// Select clusters with enough support, in deterministic order.
+	selected := make([]string, 0, len(candidates))
+	for key, c := range candidates {
+		if len(c.members) >= support {
+			selected = append(selected, key)
+		}
+	}
+	sort.Slice(selected, func(a, b int) bool {
+		ca, cb := candidates[selected[a]], candidates[selected[b]]
+		if len(ca.members) != len(cb.members) {
+			return len(ca.members) > len(cb.members)
+		}
+		return selected[a] < selected[b]
+	})
+
+	res := &core.ParseResult{Assignment: make([]int, len(msgs))}
+	clusterOf := make(map[string]int, len(selected))
+	for rank, key := range selected {
+		c := candidates[key]
+		res.Templates = append(res.Templates, core.Template{
+			ID:     fmt.Sprintf("SLCT-%d", rank+1),
+			Tokens: templateFor(c.pairs, c.members, msgs),
+		})
+		clusterOf[key] = rank
+	}
+	for i := range msgs {
+		if idx, ok := clusterOf[keys[i]]; ok && keys[i] != "" {
+			res.Assignment[i] = idx
+			continue
+		}
+		res.Assignment[i] = core.OutlierID
+	}
+	return res, nil
+}
+
+// templateFor renders a cluster's template: the frequent word at frequent
+// positions, the wildcard elsewhere, over the majority member length.
+func templateFor(pairs []posWord, members []int, msgs []core.LogMessage) []string {
+	lengths := make(map[int]int)
+	for _, m := range members {
+		lengths[len(msgs[m].Tokens)]++
+	}
+	bestLen, bestCount := 0, 0
+	for l, c := range lengths {
+		if c > bestCount || (c == bestCount && l > bestLen) {
+			bestLen, bestCount = l, c
+		}
+	}
+	tmpl := make([]string, bestLen)
+	for i := range tmpl {
+		tmpl[i] = core.Wildcard
+	}
+	for _, pw := range pairs {
+		if pw.pos < bestLen {
+			tmpl[pw.pos] = pw.word
+		}
+	}
+	return tmpl
+}

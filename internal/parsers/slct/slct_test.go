@@ -1,0 +1,168 @@
+package slct
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"logparse/internal/core"
+	"logparse/internal/gen"
+)
+
+func msgsFrom(lines ...string) []core.LogMessage {
+	out := make([]core.LogMessage, len(lines))
+	for i, l := range lines {
+		out[i] = core.LogMessage{LineNo: i + 1, Content: l, Tokens: core.Tokenize(l)}
+	}
+	return out
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	_, err := New(Options{}).Parse(nil)
+	if !errors.Is(err, core.ErrNoMessages) {
+		t.Errorf("err = %v, want ErrNoMessages", err)
+	}
+}
+
+func TestTwoEventClustering(t *testing.T) {
+	var lines []string
+	for i := 0; i < 10; i++ {
+		lines = append(lines, fmt.Sprintf("Receiving block blk_%d from node", i))
+		lines = append(lines, fmt.Sprintf("Deleting block blk_%d now", i))
+	}
+	res, err := New(Options{Support: 5}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Templates) != 2 {
+		t.Fatalf("templates = %d, want 2: %v", len(res.Templates), res.Templates)
+	}
+	got := map[string]bool{}
+	for _, tmpl := range res.Templates {
+		got[tmpl.String()] = true
+	}
+	if !got["Receiving block * from node"] || !got["Deleting block * now"] {
+		t.Errorf("templates = %v", res.Templates)
+	}
+	// All messages assigned, none outliers.
+	if _, outliers := res.EventCounts(); outliers != 0 {
+		t.Errorf("%d outliers, want 0", outliers)
+	}
+}
+
+func TestLowSupportLinesBecomeOutliers(t *testing.T) {
+	var lines []string
+	for i := 0; i < 20; i++ {
+		lines = append(lines, fmt.Sprintf("common event number %d", i))
+	}
+	lines = append(lines, "rare singular happening once")
+	res, err := New(Options{Support: 10}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[20] != core.OutlierID {
+		t.Error("sub-support line was not an outlier")
+	}
+	if res.Assignment[0] == core.OutlierID {
+		t.Error("frequent line became an outlier")
+	}
+}
+
+func TestFrequentParameterSplitsCluster(t *testing.T) {
+	// The Finding 6 mechanism: a frequent variable value (here "0"/"1")
+	// becomes a frequent word and splits the event into two clusters.
+	var lines []string
+	for i := 0; i < 20; i++ {
+		lines = append(lines, fmt.Sprintf("PacketResponder %d for block blk_%d", i%2, i))
+	}
+	res, err := New(Options{Support: 5}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Templates) != 2 {
+		t.Fatalf("expected split into 2 clusters by the frequent index, got %d", len(res.Templates))
+	}
+}
+
+func TestSupportFrac(t *testing.T) {
+	p := New(Options{SupportFrac: 0.5})
+	if got := p.support(100); got != 50 {
+		t.Errorf("support(100) = %d, want 50", got)
+	}
+	p = New(Options{})
+	if got := p.support(1000); got != 5 {
+		t.Errorf("default support(1000) = %d, want 5 (0.5%%)", got)
+	}
+	if got := p.support(10); got != 2 {
+		t.Errorf("support floor = %d, want 2", got)
+	}
+	p = New(Options{Support: 7, SupportFrac: 0.9})
+	if got := p.support(1000); got != 7 {
+		t.Errorf("absolute support must win, got %d", got)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	msgs := gen.HDFS().Generate(3, 1500)
+	a, err := New(Options{Support: 8}).Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Support: 8}).Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("SLCT is not deterministic")
+	}
+}
+
+func TestResultValidates(t *testing.T) {
+	msgs := gen.Zookeeper().Generate(1, 800)
+	res, err := New(Options{Support: 5}).Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(len(msgs)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTemplatesOrderedByClusterSize(t *testing.T) {
+	var lines []string
+	for i := 0; i < 30; i++ {
+		lines = append(lines, fmt.Sprintf("big event %d here", i))
+	}
+	for i := 0; i < 10; i++ {
+		lines = append(lines, fmt.Sprintf("small event %d there", i))
+	}
+	res, err := New(Options{Support: 5}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Templates) != 2 {
+		t.Fatalf("templates = %v", res.Templates)
+	}
+	if !strings.HasPrefix(res.Templates[0].String(), "big") {
+		t.Errorf("largest cluster must come first: %v", res.Templates)
+	}
+}
+
+func TestVariablePositionsAreWildcards(t *testing.T) {
+	var lines []string
+	for i := 0; i < 12; i++ {
+		lines = append(lines, fmt.Sprintf("job %d finished with status ok", i))
+	}
+	res, err := New(Options{Support: 6}).Parse(msgsFrom(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Templates) != 1 {
+		t.Fatalf("templates = %v", res.Templates)
+	}
+	if got := res.Templates[0].String(); got != "job * finished with status ok" {
+		t.Errorf("template = %q", got)
+	}
+}

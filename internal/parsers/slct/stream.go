@@ -1,0 +1,214 @@
+package slct
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"logparse/internal/core"
+	"logparse/internal/freq"
+)
+
+// SLCT is the only studied parser whose algorithm streams naturally: both
+// passes are single sequential scans and no pass needs the messages kept in
+// memory. ParseStream exploits that for logs larger than RAM — the paper's
+// full HDFS log is 11M lines — optionally with Manku–Motwani lossy counting
+// to bound the pass-1 vocabulary (the original C tool's hash-space option
+// played the same role).
+
+// StreamOptions configures a streaming parse.
+type StreamOptions struct {
+	// Options are the regular SLCT parameters.
+	Options
+	// VocabEpsilon, when positive, bounds pass-1 memory with lossy
+	// counting at the given error rate. Items may be undercounted by at
+	// most ε·N, so supports within ε·N of the threshold can gain or lose
+	// marginal words versus the exact run. 0 keeps exact counting.
+	VocabEpsilon float64
+}
+
+// StreamResult is the outcome of a streaming parse. Assignments are
+// returned as a compact slice parallel to the input line order.
+type StreamResult struct {
+	Templates  []core.Template
+	Assignment []int32 // template index per line; -1 = outlier
+	Lines      int
+}
+
+// ParseStream runs two-pass SLCT over a re-openable source. open is called
+// twice (for pass 1 and pass 2); each reader sees the same lines. Lines are
+// tokenised exactly like core.ReadMessages content (annotated dataset lines
+// are understood and their content extracted).
+func (p *Parser) ParseStream(open func() (io.ReadCloser, error), opts StreamOptions) (*StreamResult, error) {
+	// Pass 1: (position, word) vocabulary.
+	var exact map[posWord]int
+	var lossy *freq.LossyCounter
+	var err error
+	if opts.VocabEpsilon > 0 {
+		lossy, err = freq.NewLossyCounter(opts.VocabEpsilon)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		exact = make(map[posWord]int)
+	}
+	lines := 0
+	err = scanLines(open, func(tokens []string) {
+		lines++
+		for pos, w := range tokens {
+			if lossy != nil {
+				lossy.Add(pairKey(pos, w))
+				continue
+			}
+			exact[posWord{pos, w}]++
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("slct: pass 1: %w", err)
+	}
+	if lines == 0 {
+		return nil, core.ErrNoMessages
+	}
+	support := p.support(lines)
+	frequent := make(map[posWord]bool)
+	if lossy != nil {
+		for key := range lossy.AtLeast(support) {
+			pw, err := parsePairKey(key)
+			if err != nil {
+				return nil, err
+			}
+			frequent[pw] = true
+		}
+	} else {
+		for pw, n := range exact {
+			if n >= support {
+				frequent[pw] = true
+			}
+		}
+		exact = nil
+	}
+
+	// Pass 2a: candidate supports. Keys are built per line; only candidate
+	// counters stay in memory.
+	type candidate struct {
+		pairs   []posWord
+		support int
+		// repLen is the first member's token count (template length; SLCT
+		// cluster members share their frequent-pair profile and almost
+		// always their length).
+		repLen int
+	}
+	candidates := make(map[string]*candidate)
+	var keyBuf strings.Builder
+	lineKey := func(tokens []string) (string, []posWord) {
+		keyBuf.Reset()
+		var pairs []posWord
+		for pos, w := range tokens {
+			if frequent[posWord{pos, w}] {
+				pairs = append(pairs, posWord{pos, w})
+				keyBuf.WriteString(strconv.Itoa(pos))
+				keyBuf.WriteByte('=')
+				keyBuf.WriteString(w)
+				keyBuf.WriteByte('\x00')
+			}
+		}
+		return keyBuf.String(), pairs
+	}
+	err = scanLines(open, func(tokens []string) {
+		key, pairs := lineKey(tokens)
+		if key == "" {
+			return
+		}
+		c, ok := candidates[key]
+		if !ok {
+			c = &candidate{pairs: pairs, repLen: len(tokens)}
+			candidates[key] = c
+		}
+		c.support++
+	})
+	if err != nil {
+		return nil, fmt.Errorf("slct: pass 2a: %w", err)
+	}
+
+	// Select clusters and build templates from the pair profiles.
+	res := &StreamResult{Lines: lines}
+	clusterOf := make(map[string]int32)
+	for key, c := range candidates {
+		if c.support < support {
+			continue
+		}
+		tmpl := make([]string, c.repLen)
+		for i := range tmpl {
+			tmpl[i] = core.Wildcard
+		}
+		for _, pw := range c.pairs {
+			if pw.pos < c.repLen {
+				tmpl[pw.pos] = pw.word
+			}
+		}
+		clusterOf[key] = int32(len(res.Templates))
+		res.Templates = append(res.Templates, core.Template{
+			ID:     fmt.Sprintf("SLCT-%d", len(res.Templates)+1),
+			Tokens: tmpl,
+		})
+	}
+
+	// Pass 2b (same scan, third sweep kept separate for clarity):
+	// per-line assignment.
+	res.Assignment = make([]int32, 0, lines)
+	err = scanLines(open, func(tokens []string) {
+		key, _ := lineKey(tokens)
+		if idx, ok := clusterOf[key]; ok && key != "" {
+			res.Assignment = append(res.Assignment, idx)
+			return
+		}
+		res.Assignment = append(res.Assignment, int32(core.OutlierID))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("slct: pass 2b: %w", err)
+	}
+	return res, nil
+}
+
+// scanLines streams tokenised message content to fn. Annotated dataset
+// lines ("truth<TAB>session<TAB>content") contribute only their content.
+func scanLines(open func() (io.ReadCloser, error), fn func(tokens []string)) error {
+	r, err := open()
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if parts := strings.SplitN(line, "\t", 3); len(parts) == 3 {
+			line = parts[2]
+		}
+		fn(core.Tokenize(line))
+	}
+	return sc.Err()
+}
+
+// pairKey serialises a posWord for the lossy counter.
+func pairKey(pos int, word string) string {
+	return strconv.Itoa(pos) + "\x00" + word
+}
+
+// parsePairKey inverts pairKey.
+func parsePairKey(key string) (posWord, error) {
+	i := strings.IndexByte(key, '\x00')
+	if i < 0 {
+		return posWord{}, fmt.Errorf("slct: malformed pair key %q", key)
+	}
+	pos, err := strconv.Atoi(key[:i])
+	if err != nil {
+		return posWord{}, fmt.Errorf("slct: malformed pair key %q: %w", key, err)
+	}
+	return posWord{pos: pos, word: key[i+1:]}, nil
+}

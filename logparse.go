@@ -1,0 +1,144 @@
+// Package logparse is an open-source toolkit of automated log parsers and
+// the evaluation/log-mining machinery around them, reproducing "An
+// Evaluation Study on Log Parsing and Its Use in Log Mining" (He, Zhu, He,
+// Li, Lyu — DSN 2016).
+//
+// The toolkit packages four widely used log parsers behind one interface:
+//
+//   - SLCT   (Vaarandi, IPOM 2003) — frequent-word clustering
+//   - IPLoM  (Makanju et al., KDD 2009) — iterative hierarchical partitioning
+//   - LKE    (Fu et al., ICDM 2009) — weighted-edit-distance clustering
+//   - LogSig (Tang et al., CIKM 2011) — message-signature local search
+//
+// plus the five evaluation datasets of the paper (as synthetic generators
+// with exact ground truth), pairwise F-measure scoring, preprocessing
+// rules, and the PCA-based anomaly-detection pipeline of Xu et al.
+// (SOSP 2009) used to study how parsing quality affects log mining.
+//
+// # Quickstart
+//
+//	msgs, _ := logparse.Dataset("HDFS")            // built-in dataset
+//	sample := msgs.Generate(1, 2000)               // 2k labelled lines
+//	parser, _ := logparse.NewParser("IPLoM", logparse.Options{})
+//	result, _ := parser.Parse(sample)
+//	for _, t := range result.Templates {
+//		fmt.Println(t.ID, t)
+//	}
+package logparse
+
+import (
+	"fmt"
+	"strings"
+
+	"logparse/internal/core"
+	"logparse/internal/parsers/iplom"
+	"logparse/internal/parsers/lke"
+	"logparse/internal/parsers/logsig"
+	"logparse/internal/parsers/slct"
+)
+
+// Core model types, re-exported from the toolkit's data model.
+type (
+	// Message is a single raw log message.
+	Message = core.LogMessage
+	// Template is an extracted log event with wildcards at variable
+	// positions.
+	Template = core.Template
+	// Result is a parser's output: templates plus per-message assignment.
+	Result = core.ParseResult
+	// Parser is the interface implemented by every algorithm.
+	Parser = core.Parser
+)
+
+// Wildcard is the variable-position marker in templates.
+const Wildcard = core.Wildcard
+
+// OutlierID marks messages a parser left unassigned.
+const OutlierID = core.OutlierID
+
+// ErrNoMessages is returned by parsers on empty input.
+var ErrNoMessages = core.ErrNoMessages
+
+// Options carries the union of all parser parameters; each algorithm reads
+// only its own fields and falls back to its published defaults for zero
+// values. See the paper's §II-B for what each knob controls.
+type Options struct {
+	// Seed drives randomised algorithms (LKE threshold sampling, LogSig
+	// initialisation).
+	Seed int64
+
+	// Support is SLCT's absolute support threshold; SupportFrac expresses
+	// it as a fraction of the input when Support is 0.
+	Support     int
+	SupportFrac float64
+
+	// FileSupport, PartitionSupport, LowerBound, UpperBound,
+	// ClusterGoodness, VariableRatio and MappingRatio are IPLoM's
+	// thresholds.
+	FileSupport      float64
+	PartitionSupport float64
+	LowerBound       float64
+	UpperBound       float64
+	ClusterGoodness  float64
+	VariableRatio    float64
+	MappingRatio     float64
+
+	// Threshold, Nu, SplitRatio and MaxMessages configure LKE. MaxMessages
+	// guards LKE's Θ(n²) clustering; Parse fails beyond it.
+	Threshold   float64
+	Nu          float64
+	SplitRatio  float64
+	MaxMessages int
+
+	// NumGroups is LogSig's k (required for LogSig); MaxIterations caps
+	// its local search; Restarts reruns it from several initialisations
+	// keeping the highest-potential solution.
+	NumGroups     int
+	MaxIterations int
+	Restarts      int
+}
+
+// Algorithms lists the available parser names in the paper's order.
+func Algorithms() []string { return []string{"SLCT", "IPLoM", "LKE", "LogSig"} }
+
+// NewParser builds a parser by algorithm name (case-insensitive).
+func NewParser(algorithm string, opts Options) (Parser, error) {
+	switch strings.ToLower(algorithm) {
+	case "slct":
+		return slct.New(slct.Options{Support: opts.Support, SupportFrac: opts.SupportFrac}), nil
+	case "iplom":
+		return iplom.New(iplom.Options{
+			FileSupport:      opts.FileSupport,
+			PartitionSupport: opts.PartitionSupport,
+			LowerBound:       opts.LowerBound,
+			UpperBound:       opts.UpperBound,
+			ClusterGoodness:  opts.ClusterGoodness,
+			VariableRatio:    opts.VariableRatio,
+			MappingRatio:     opts.MappingRatio,
+		}), nil
+	case "lke":
+		return lke.New(lke.Options{
+			Threshold:   opts.Threshold,
+			Nu:          opts.Nu,
+			SplitRatio:  opts.SplitRatio,
+			Seed:        opts.Seed,
+			MaxMessages: opts.MaxMessages,
+		}), nil
+	case "logsig":
+		if opts.NumGroups <= 0 {
+			return nil, fmt.Errorf("logparse: LogSig requires Options.NumGroups > 0")
+		}
+		return logsig.New(logsig.Options{
+			NumGroups:     opts.NumGroups,
+			MaxIterations: opts.MaxIterations,
+			Seed:          opts.Seed,
+			Restarts:      opts.Restarts,
+		}), nil
+	default:
+		return nil, fmt.Errorf("logparse: unknown algorithm %q (want one of %s)",
+			algorithm, strings.Join(Algorithms(), ", "))
+	}
+}
+
+// Tokenize splits raw message content into the toolkit's canonical tokens.
+func Tokenize(content string) []string { return core.Tokenize(content) }

@@ -1,0 +1,56 @@
+package logparse
+
+import (
+	"logparse/internal/eval"
+	"logparse/internal/mining/anomaly"
+)
+
+// Accuracy holds pairwise precision/recall/F-measure, the clustering
+// metric the paper scores parsers with.
+type Accuracy = eval.PRF
+
+// FMeasure computes the pairwise clustering F-measure between predicted
+// cluster labels and ground-truth labels (one label per message).
+func FMeasure(predicted, truth []string) (Accuracy, error) {
+	return eval.FMeasure(predicted, truth)
+}
+
+// EvaluateResult scores a parse result against the messages' ground-truth
+// labels (msgs[i].TruthID).
+func EvaluateResult(msgs []Message, r *Result) (Accuracy, error) {
+	truth := make([]string, len(msgs))
+	for i := range msgs {
+		truth[i] = msgs[i].TruthID
+	}
+	return eval.FMeasure(r.ClusterIDs(), truth)
+}
+
+// Anomaly-detection pipeline types (Xu et al., SOSP 2009; §III-B).
+type (
+	// AnomalyOptions configures the PCA detector (α, variance fraction).
+	AnomalyOptions = anomaly.Options
+	// AnomalyResult is the detector's verdict per session.
+	AnomalyResult = anomaly.Result
+	// AnomalyReport compares a detection run against labels (one Table III
+	// row).
+	AnomalyReport = anomaly.Report
+	// CountMatrix is the session-by-event count matrix.
+	CountMatrix = anomaly.CountMatrix
+)
+
+// DefaultAnomalyOptions returns the paper's detector configuration
+// (α = 0.001, 95% variance).
+func DefaultAnomalyOptions() AnomalyOptions { return anomaly.DefaultOptions() }
+
+// DetectAnomalies runs the full pipeline — event-count matrix, TF-IDF, PCA
+// subspace split, SPE thresholding — over parsed messages grouped by their
+// Session field.
+func DetectAnomalies(msgs []Message, parsed *Result, opts AnomalyOptions) (*AnomalyResult, error) {
+	return anomaly.Detect(msgs, parsed, opts)
+}
+
+// EvaluateAnomalies scores a detection result against ground-truth session
+// labels (true = anomalous).
+func EvaluateAnomalies(res *AnomalyResult, labels map[string]bool) AnomalyReport {
+	return anomaly.Evaluate(res, labels)
+}
