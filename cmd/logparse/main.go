@@ -7,13 +7,20 @@
 //
 // When the input carries ground-truth annotations (loggen's format), the
 // parse is also scored with the pairwise F-measure.
+//
+// For production-style runs, -timeout, -retries and -fallback wrap the
+// parse in the fault-tolerant degradation chain (panics isolated, deadline
+// enforced, transient failures retried, fallback algorithms tried in
+// order), and -strict rejects corrupt input lines instead of skipping them.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"logparse"
 )
@@ -40,6 +47,10 @@ func run() error {
 		threshold  = flag.Float64("threshold", 0, "LKE: merge threshold (0 = automatic)")
 		stream     = flag.Bool("stream", false, "SLCT only: two-pass streaming parse with bounded memory")
 		epsilon    = flag.Float64("epsilon", 0, "streaming: lossy-counting error bound for the vocabulary pass (0 = exact)")
+		timeout    = flag.Duration("timeout", 0, "per-tier parse deadline (0 = none); enables the fault-tolerant wrapper")
+		retries    = flag.Int("retries", 0, "retry a tier this many times on transient failures before degrading")
+		fallback   = flag.String("fallback", "", "comma-separated fallback algorithms tried in order when the primary fails (e.g. IPLoM,SLCT)")
+		strict     = flag.Bool("strict", false, "fail on corrupt/ambiguous/over-long input lines instead of skipping and counting them")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -55,9 +66,16 @@ func run() error {
 		return err
 	}
 	defer f.Close()
-	msgs, err := logparse.ReadMessages(f, *maxLines)
+	msgs, stats, err := logparse.ReadMessagesOpts(f, logparse.ReadOptions{
+		MaxLines: *maxLines,
+		Strict:   *strict,
+	})
 	if err != nil {
 		return err
+	}
+	if stats.Corrupt+stats.Ambiguous+stats.Oversized > 0 {
+		fmt.Fprintf(os.Stderr, "logparse: tolerated %d corrupt, %d ambiguous, %d over-long lines\n",
+			stats.Corrupt, stats.Ambiguous, stats.Oversized)
 	}
 	if len(msgs) == 0 {
 		return fmt.Errorf("no log messages in %s", *in)
@@ -66,19 +84,52 @@ func run() error {
 		msgs = logparse.Preprocess(*preprocess, msgs)
 	}
 
-	parser, err := logparse.NewParser(*parserName, logparse.Options{
+	opts := logparse.Options{
 		Seed:        *seed,
 		Support:     *support,
 		SupportFrac: *frac,
 		NumGroups:   *groups,
 		Threshold:   *threshold,
-	})
+	}
+	parser, err := logparse.NewParser(*parserName, opts)
 	if err != nil {
 		return err
 	}
-	result, err := parser.Parse(msgs)
-	if err != nil {
-		return err
+
+	servedBy := parser.Name()
+	var result *logparse.Result
+	if *timeout > 0 || *retries > 0 || *fallback != "" {
+		algorithms := []string{*parserName}
+		for _, a := range strings.Split(*fallback, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				algorithms = append(algorithms, a)
+			}
+		}
+		chain, err := logparse.NewRobustParser(algorithms, opts,
+			logparse.RobustPolicy{Timeout: *timeout, MaxRetries: *retries})
+		if err != nil {
+			return err
+		}
+		var att *logparse.ParseAttribution
+		result, att, err = chain.ParseAttributed(context.Background(), msgs)
+		if err != nil {
+			return err
+		}
+		servedBy = att.TierName
+		if att.Degraded {
+			fmt.Fprintf(os.Stderr, "logparse: primary failed, served by fallback tier %d (%s) after %d failed attempts\n",
+				att.Tier, att.TierName, len(att.Attempts))
+			for _, a := range att.Attempts {
+				fmt.Fprintf(os.Stderr, "logparse:   tier %d (%s): %v\n", a.Tier, a.TierName, a.Err)
+			}
+		} else if att.Retries > 0 {
+			fmt.Fprintf(os.Stderr, "logparse: served by %s after %d transient retries\n", att.TierName, att.Retries)
+		}
+	} else {
+		result, err = parser.Parse(msgs)
+		if err != nil {
+			return err
+		}
 	}
 
 	eventsOut := os.Stdout
@@ -106,7 +157,7 @@ func run() error {
 
 	counts, outliers := result.EventCounts()
 	fmt.Fprintf(os.Stderr, "logparse: %s extracted %d events from %d lines (%d outliers)\n",
-		parser.Name(), len(counts), len(msgs), outliers)
+		servedBy, len(counts), len(msgs), outliers)
 	if msgs[0].TruthID != "" {
 		acc, err := logparse.EvaluateResult(msgs, result)
 		if err != nil {

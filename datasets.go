@@ -89,6 +89,34 @@ func ReadMessages(r io.Reader, maxLines int) ([]Message, error) {
 	return core.ReadMessages(r, maxLines)
 }
 
+// Input-hardening knobs for reading real-world (possibly corrupt) logs; see
+// ReadMessagesOpts.
+type (
+	// ReadOptions selects the line format, strict/lenient handling of
+	// corrupt lines, and the per-line size cap.
+	ReadOptions = core.ReadOptions
+	// ReadStats reports how many corrupt, ambiguous and oversized lines a
+	// lenient read tolerated.
+	ReadStats = core.ReadStats
+	// CorruptLineError is the typed error strict reads fail with.
+	CorruptLineError = core.CorruptLineError
+)
+
+// Line-format constants for ReadOptions.Format.
+const (
+	FormatAuto      = core.FormatAuto
+	FormatPlain     = core.FormatPlain
+	FormatAnnotated = core.FormatAnnotated
+)
+
+// ReadMessagesOpts reads log lines under explicit format, strictness and
+// line-size policies. Unlike ReadMessages it survives over-long lines
+// (truncating or skipping them instead of aborting the read) and reports
+// how many corrupt, ambiguous and oversized lines were tolerated.
+func ReadMessagesOpts(r io.Reader, opts ReadOptions) ([]Message, ReadStats, error) {
+	return core.ReadMessagesOpts(r, opts)
+}
+
 // WriteMessages writes messages in the annotated dataset format
 // ReadMessages accepts.
 func WriteMessages(w io.Writer, msgs []Message) error { return core.WriteMessages(w, msgs) }

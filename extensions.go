@@ -46,22 +46,18 @@ func NewMatcher(res *Result) (*Matcher, error) { return match.FromResult(res) }
 // NewParallelParser wraps an algorithm in the shard-and-merge harness of
 // §V's distributed-parsing direction: the input is split into shards
 // parsed concurrently, and per-shard templates are merged by identity.
-// shards ≤ 0 uses GOMAXPROCS.
+// shards ≤ 0 uses GOMAXPROCS. A shard whose parser fails — even by
+// panicking — fails the parse with a wrapped error instead of killing the
+// process.
 func NewParallelParser(algorithm string, shards int, opts Options) (Parser, error) {
 	// Validate the configuration once up front.
 	if _, err := NewParser(algorithm, opts); err != nil {
 		return nil, err
 	}
-	return parallel.New(algorithm, shards, func(shard int) Parser {
+	return parallel.New(algorithm, shards, func(shard int) (Parser, error) {
 		o := opts
 		o.Seed = opts.Seed + int64(shard)
-		p, err := NewParser(algorithm, o)
-		if err != nil {
-			// Unreachable: the configuration was validated above and
-			// NewParser is deterministic in (algorithm, opts).
-			panic(err)
-		}
-		return p
+		return NewParser(algorithm, o)
 	}), nil
 }
 

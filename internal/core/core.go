@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -138,8 +139,16 @@ type Parser interface {
 	// Name returns the algorithm's short name, e.g. "SLCT".
 	Name() string
 	// Parse extracts templates from the messages and assigns each message
-	// to one. Implementations must not retain or mutate msgs.
+	// to one. Implementations must not retain or mutate msgs. It is
+	// equivalent to ParseCtx with a background context.
 	Parse(msgs []LogMessage) (*ParseResult, error)
+	// ParseCtx is Parse under a context: implementations check ctx inside
+	// their hot loops (LKE's O(n²) clustering, LogSig's local search,
+	// IPLoM's partitioning, SLCT's passes) and return ctx.Err() — possibly
+	// wrapped — promptly after cancellation or deadline expiry. Algorithm
+	// cost is wildly uneven across parsers (the paper's RQ2), so callers
+	// serving live traffic must be able to bound every parse.
+	ParseCtx(ctx context.Context, msgs []LogMessage) (*ParseResult, error)
 }
 
 // TemplateFromCluster derives a template from the token sequences of one

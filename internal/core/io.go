@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -20,35 +21,242 @@ import (
 //
 // ReadMessages accepts both forms.
 
-// ReadMessages reads raw log messages, one per line. Lines containing two
-// tab separators are interpreted as annotated dataset lines carrying ground
-// truth; all other lines are plain message content. maxLines caps the number
-// of messages read (0 means unlimited).
+// Format selects how message reading interprets tab-separated lines.
+type Format int
+
+const (
+	// FormatAuto accepts both plain and annotated lines: a line splitting
+	// into three tab-separated fields whose first two fields look like an
+	// annotation (space-free, at most maxAnnotationField bytes) is
+	// annotated; anything else is plain content. Lines carrying two tabs
+	// that fail the validation are counted as ambiguous rather than
+	// silently misparsed.
+	FormatAuto Format = iota
+	// FormatPlain never splits: every line is pure message content, tabs
+	// and all. Use it for production logs that may legitimately contain
+	// tabs.
+	FormatPlain
+	// FormatAnnotated requires every line to carry the ground-truth prefix;
+	// lines that do not are corrupt.
+	FormatAnnotated
+)
+
+// DefaultMaxLineBytes is the per-line size cap applied when
+// ReadOptions.MaxLineBytes is zero.
+const DefaultMaxLineBytes = 4 * 1024 * 1024
+
+// maxAnnotationField bounds the truthID and session fields of an annotated
+// line; real annotations are short identifiers, so longer fields mark a
+// plain log line that happens to contain tabs.
+const maxAnnotationField = 256
+
+// ReadOptions configures ReadMessagesOpts.
+type ReadOptions struct {
+	// MaxLines caps the number of messages read (0 = unlimited).
+	MaxLines int
+	// Format selects the line format (default FormatAuto).
+	Format Format
+	// Strict fails the read with a *CorruptLineError at the first corrupt,
+	// ambiguous, NUL-bearing or oversized line. The default (lenient) mode
+	// counts such lines in ReadStats and keeps reading.
+	Strict bool
+	// MaxLineBytes caps one line's content (default DefaultMaxLineBytes).
+	// Unlike bufio.Scanner's ErrTooLong, an over-long line does not abort
+	// the read: it is truncated at the cap (or skipped, see SkipOversized)
+	// and counted, and reading continues at the next line.
+	MaxLineBytes int
+	// SkipOversized drops over-long lines entirely instead of keeping a
+	// truncated prefix.
+	SkipOversized bool
+}
+
+// ReadStats reports what lenient reading tolerated.
+type ReadStats struct {
+	// Lines is the number of non-empty lines consumed.
+	Lines int
+	// Messages is the number of messages returned.
+	Messages int
+	// Ambiguous counts FormatAuto lines with ≥2 tabs whose fields failed
+	// annotation validation and were kept as plain content.
+	Ambiguous int
+	// Corrupt counts skipped lines: FormatAnnotated lines without a valid
+	// annotation, and NUL-bearing lines in any format.
+	Corrupt int
+	// Oversized counts lines longer than MaxLineBytes (truncated or
+	// skipped per SkipOversized).
+	Oversized int
+}
+
+// CorruptLineError is returned in strict mode when a line cannot be
+// interpreted under the configured format.
+type CorruptLineError struct {
+	// LineNo is the 1-based physical line number in the input.
+	LineNo int
+	// Reason describes what made the line unreadable.
+	Reason string
+}
+
+func (e *CorruptLineError) Error() string {
+	return fmt.Sprintf("core: input line %d: %s", e.LineNo, e.Reason)
+}
+
+// ReadMessages reads raw log messages, one per line, in FormatAuto with
+// lenient handling (corrupt and oversized lines are tolerated and their
+// counts discarded). maxLines caps the number of messages read (0 means
+// unlimited). Callers that need strict parsing or the tolerance counts use
+// ReadMessagesOpts.
 func ReadMessages(r io.Reader, maxLines int) ([]LogMessage, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	msgs, _, err := ReadMessagesOpts(r, ReadOptions{MaxLines: maxLines})
+	return msgs, err
+}
+
+// ReadMessagesOpts reads raw log messages under explicit format, strictness
+// and line-size policies, reporting what lenient mode tolerated. Unlike a
+// plain bufio.Scanner read it survives arbitrarily long lines: an over-long
+// line is truncated (or skipped) and counted instead of failing the whole
+// read with ErrTooLong.
+func ReadMessagesOpts(r io.Reader, opts ReadOptions) ([]LogMessage, ReadStats, error) {
+	if opts.MaxLineBytes <= 0 {
+		opts.MaxLineBytes = DefaultMaxLineBytes
+	}
+	br := bufio.NewReaderSize(r, 64*1024)
 	var msgs []LogMessage
-	for sc.Scan() {
-		if maxLines > 0 && len(msgs) >= maxLines {
+	var stats ReadStats
+	lineNo := 0
+	for {
+		if opts.MaxLines > 0 && len(msgs) >= opts.MaxLines {
 			break
 		}
-		line := sc.Text()
-		if line == "" {
+		raw, oversized, rerr := readLine(br, opts.MaxLineBytes)
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return nil, stats, fmt.Errorf("core: read messages: %w", rerr)
+		}
+		done := errors.Is(rerr, io.EOF)
+		if len(raw) == 0 && !oversized {
+			if done {
+				break
+			}
+			lineNo++ // empty line: skipped, as before
 			continue
 		}
-		msg := LogMessage{LineNo: len(msgs) + 1}
-		if parts := strings.SplitN(line, "\t", 3); len(parts) == 3 {
-			msg.TruthID, msg.Session, msg.Content = parts[0], parts[1], parts[2]
-		} else {
-			msg.Content = line
+		lineNo++
+		line := string(raw)
+		keep := true
+		if oversized {
+			stats.Oversized++
+			if opts.Strict {
+				return nil, stats, &CorruptLineError{LineNo: lineNo,
+					Reason: fmt.Sprintf("line exceeds %d bytes", opts.MaxLineBytes)}
+			}
+			if opts.SkipOversized {
+				keep = false
+			}
 		}
-		msg.Tokens = Tokenize(msg.Content)
-		msgs = append(msgs, msg)
+		if keep && strings.IndexByte(line, 0) >= 0 {
+			if opts.Strict {
+				return nil, stats, &CorruptLineError{LineNo: lineNo, Reason: "line contains NUL bytes"}
+			}
+			stats.Corrupt++
+			keep = false
+		}
+		if keep {
+			stats.Lines++
+			msg := LogMessage{LineNo: len(msgs) + 1}
+			ok, err := fillMessage(&msg, line, opts, lineNo, &stats)
+			if err != nil {
+				return nil, stats, err
+			}
+			if ok {
+				msg.Tokens = Tokenize(msg.Content)
+				msgs = append(msgs, msg)
+				stats.Messages++
+			}
+		}
+		if done {
+			break
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("core: read messages: %w", err)
+	return msgs, stats, nil
+}
+
+// fillMessage interprets one line under the configured format, reporting
+// whether the message should be kept.
+func fillMessage(msg *LogMessage, line string, opts ReadOptions, lineNo int, stats *ReadStats) (bool, error) {
+	switch opts.Format {
+	case FormatPlain:
+		msg.Content = line
+		return true, nil
+	case FormatAnnotated:
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) == 3 && validAnnotationField(parts[0]) && validAnnotationField(parts[1]) {
+			msg.TruthID, msg.Session, msg.Content = parts[0], parts[1], parts[2]
+			return true, nil
+		}
+		if opts.Strict {
+			return false, &CorruptLineError{LineNo: lineNo, Reason: "not a valid truthID\\tsession\\tcontent annotation"}
+		}
+		stats.Corrupt++
+		return false, nil
+	default: // FormatAuto
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			msg.Content = line
+			return true, nil
+		}
+		if validAnnotationField(parts[0]) && validAnnotationField(parts[1]) {
+			msg.TruthID, msg.Session, msg.Content = parts[0], parts[1], parts[2]
+			return true, nil
+		}
+		// A plain log line that happens to contain ≥2 tabs: keep it whole
+		// rather than silently misparsing its head as ground truth.
+		if opts.Strict {
+			return false, &CorruptLineError{LineNo: lineNo, Reason: "ambiguous tab-separated line (neither plain nor a valid annotation)"}
+		}
+		stats.Ambiguous++
+		msg.Content = line
+		return true, nil
 	}
-	return msgs, nil
+}
+
+// validAnnotationField reports whether a tab-separated prefix field looks
+// like a real annotation: space-free and short.
+func validAnnotationField(f string) bool {
+	return len(f) <= maxAnnotationField && !strings.ContainsAny(f, " ")
+}
+
+// readLine reads one newline-terminated line of at most max content bytes,
+// accumulating across internal buffer refills. When the line is longer, the
+// first max bytes are returned with oversized=true and the remainder is
+// discarded up to the newline — the reader stays positioned at the next
+// line, unlike bufio.Scanner which aborts the whole stream with ErrTooLong.
+// The returned error is io.EOF exactly at end of input (possibly alongside
+// a final unterminated line).
+func readLine(br *bufio.Reader, max int) (line []byte, oversized bool, err error) {
+	total := 0
+	for {
+		frag, ferr := br.ReadSlice('\n')
+		if n := len(frag); n > 0 && frag[n-1] == '\n' {
+			frag = frag[:n-1]
+		}
+		total += len(frag)
+		if len(line) < max {
+			if room := max - len(line); len(frag) > room {
+				frag = frag[:room]
+			}
+			line = append(line, frag...)
+		}
+		switch {
+		case ferr == nil:
+			if n := len(line); n > 0 && line[n-1] == '\r' {
+				line = line[:n-1]
+			}
+			return line, total > max, nil
+		case errors.Is(ferr, bufio.ErrBufferFull):
+			continue
+		default:
+			return line, total > max, ferr
+		}
+	}
 }
 
 // WriteMessages writes dataset lines in the annotated tab-separated form

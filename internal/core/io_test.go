@@ -144,3 +144,172 @@ func TestReadMessagesError(t *testing.T) {
 		t.Error("reader error swallowed")
 	}
 }
+
+func TestReadMessagesAmbiguousTabLine(t *testing.T) {
+	// A plain log line with ≥2 tabs whose fields cannot be an annotation
+	// (they contain spaces) must stay whole instead of being misparsed as
+	// ground truth.
+	in := "GET /a HTTP/1.1\t200 OK\tua: curl agent\n"
+	msgs, stats, err := ReadMessagesOpts(strings.NewReader(in), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].TruthID != "" {
+		t.Fatalf("ambiguous line misparsed as annotated: %+v", msgs)
+	}
+	if msgs[0].Content != strings.TrimSuffix(in, "\n") {
+		t.Errorf("content = %q, want the whole line", msgs[0].Content)
+	}
+	if stats.Ambiguous != 1 {
+		t.Errorf("Ambiguous = %d, want 1", stats.Ambiguous)
+	}
+}
+
+func TestReadMessagesStrictAmbiguous(t *testing.T) {
+	in := "plain ok line\nGET /a\t200 OK\tmore words here\n"
+	_, _, err := ReadMessagesOpts(strings.NewReader(in), ReadOptions{Strict: true})
+	var cle *CorruptLineError
+	if !errors.As(err, &cle) {
+		t.Fatalf("err = %T %v, want *CorruptLineError", err, err)
+	}
+	if cle.LineNo != 2 {
+		t.Errorf("LineNo = %d, want 2", cle.LineNo)
+	}
+}
+
+func TestReadMessagesFormatPlainNeverSplits(t *testing.T) {
+	in := "E1\ts\tlooks annotated\n"
+	msgs, stats, err := ReadMessagesOpts(strings.NewReader(in), ReadOptions{Format: FormatPlain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs[0].TruthID != "" || msgs[0].Content != "E1\ts\tlooks annotated" {
+		t.Errorf("FormatPlain split the line: %+v", msgs[0])
+	}
+	if stats.Ambiguous != 0 {
+		t.Errorf("Ambiguous = %d, want 0 in plain mode", stats.Ambiguous)
+	}
+}
+
+func TestReadMessagesFormatAnnotated(t *testing.T) {
+	in := "E1\ts1\tgood line\nnot annotated at all\nE2\ts2\tanother good line\n"
+	msgs, stats, err := ReadMessagesOpts(strings.NewReader(in), ReadOptions{Format: FormatAnnotated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || msgs[0].TruthID != "E1" || msgs[1].TruthID != "E2" {
+		t.Fatalf("annotated read wrong: %+v", msgs)
+	}
+	if stats.Corrupt != 1 {
+		t.Errorf("Corrupt = %d, want 1", stats.Corrupt)
+	}
+	// Strict mode refuses the same input.
+	_, _, err = ReadMessagesOpts(strings.NewReader(in), ReadOptions{Format: FormatAnnotated, Strict: true})
+	var cle *CorruptLineError
+	if !errors.As(err, &cle) {
+		t.Fatalf("strict err = %T %v, want *CorruptLineError", err, err)
+	}
+}
+
+func TestReadMessagesOversizedTruncated(t *testing.T) {
+	in := "short one\n" + strings.Repeat("a", 100) + "\nshort two\n"
+	msgs, stats, err := ReadMessagesOpts(strings.NewReader(in), ReadOptions{MaxLineBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("got %d messages, want 3 (read must continue past the long line)", len(msgs))
+	}
+	if got := msgs[1].Content; got != strings.Repeat("a", 16) {
+		t.Errorf("oversized line content = %q, want 16-byte prefix", got)
+	}
+	if msgs[2].Content != "short two" {
+		t.Errorf("line after oversized = %q", msgs[2].Content)
+	}
+	if stats.Oversized != 1 {
+		t.Errorf("Oversized = %d, want 1", stats.Oversized)
+	}
+}
+
+func TestReadMessagesOversizedSkipped(t *testing.T) {
+	in := "short one\n" + strings.Repeat("a", 100) + "\nshort two\n"
+	msgs, stats, err := ReadMessagesOpts(strings.NewReader(in), ReadOptions{MaxLineBytes: 16, SkipOversized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || msgs[1].Content != "short two" {
+		t.Fatalf("skip-oversized kept wrong messages: %+v", msgs)
+	}
+	if stats.Oversized != 1 {
+		t.Errorf("Oversized = %d, want 1", stats.Oversized)
+	}
+}
+
+func TestReadMessagesOversizedStrict(t *testing.T) {
+	in := strings.Repeat("a", 100) + "\n"
+	_, _, err := ReadMessagesOpts(strings.NewReader(in), ReadOptions{MaxLineBytes: 16, Strict: true})
+	var cle *CorruptLineError
+	if !errors.As(err, &cle) {
+		t.Fatalf("err = %T %v, want *CorruptLineError", err, err)
+	}
+}
+
+func TestReadMessagesOversizedLargerThanScannerBuffer(t *testing.T) {
+	// The regression the satellite fixes: a line beyond the old 4 MiB
+	// scanner buffer used to fail the whole read with ErrTooLong. Use a
+	// small cap to keep the test cheap; the mechanism is identical.
+	long := strings.Repeat("x", 1<<20)
+	in := "before\n" + long + "\nafter\n"
+	msgs, stats, err := ReadMessagesOpts(strings.NewReader(in), ReadOptions{MaxLineBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 || msgs[2].Content != "after" {
+		t.Fatalf("reading did not survive the huge line: %d msgs", len(msgs))
+	}
+	if len(msgs[1].Content) != 1024 || stats.Oversized != 1 {
+		t.Errorf("huge line not truncated+counted: len=%d stats=%+v", len(msgs[1].Content), stats)
+	}
+}
+
+func TestReadMessagesNULLines(t *testing.T) {
+	in := "good line\nbad\x00line\nanother good\n"
+	msgs, stats, err := ReadMessagesOpts(strings.NewReader(in), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("got %d messages, want 2 (NUL line skipped)", len(msgs))
+	}
+	if stats.Corrupt != 1 {
+		t.Errorf("Corrupt = %d, want 1", stats.Corrupt)
+	}
+	_, _, err = ReadMessagesOpts(strings.NewReader(in), ReadOptions{Strict: true})
+	var cle *CorruptLineError
+	if !errors.As(err, &cle) {
+		t.Fatalf("strict err = %T %v, want *CorruptLineError", err, err)
+	}
+}
+
+func TestReadMessagesNoTrailingNewline(t *testing.T) {
+	msgs, stats, err := ReadMessagesOpts(strings.NewReader("first\nlast without newline"), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || msgs[1].Content != "last without newline" {
+		t.Fatalf("unterminated final line lost: %+v", msgs)
+	}
+	if stats.Messages != 2 || stats.Lines != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestReadMessagesCRLF(t *testing.T) {
+	msgs, _, err := ReadMessagesOpts(strings.NewReader("dos line\r\nunix line\n"), ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs[0].Content != "dos line" {
+		t.Errorf("CR not stripped: %q", msgs[0].Content)
+	}
+}

@@ -1,0 +1,158 @@
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"logparse/internal/core"
+)
+
+// PanicParser is a mock parser that always panics, exercising the robust
+// layer's panic isolation.
+type PanicParser struct {
+	// Value is the panic value; defaults to "faultinject: deliberate panic".
+	Value any
+}
+
+var _ core.Parser = PanicParser{}
+
+// Name implements core.Parser.
+func (PanicParser) Name() string { return "PanicParser" }
+
+// Parse implements core.Parser.
+func (p PanicParser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
+	return p.ParseCtx(context.Background(), msgs)
+}
+
+// ParseCtx implements core.Parser by panicking.
+func (p PanicParser) ParseCtx(context.Context, []core.LogMessage) (*core.ParseResult, error) {
+	v := p.Value
+	if v == nil {
+		v = "faultinject: deliberate panic"
+	}
+	panic(v)
+}
+
+// HangParser is a mock parser that blocks, exercising deadline enforcement.
+// With HonorCtx it behaves like a well-behaved slow parser: it returns
+// ctx.Err() when the context ends. Without it, it models a wedged parser
+// that ignores cancellation: ParseCtx blocks until Release is called, and
+// the robust wrapper must abandon it to meet its deadline. Tests call
+// Release in cleanup so no goroutine outlives the test.
+type HangParser struct {
+	HonorCtx bool
+
+	once    sync.Once
+	release chan struct{}
+	// Hung counts ParseCtx calls that actually blocked.
+	Hung atomic.Int64
+}
+
+var _ core.Parser = (*HangParser)(nil)
+
+// NewHangParser builds a HangParser.
+func NewHangParser(honorCtx bool) *HangParser {
+	return &HangParser{HonorCtx: honorCtx, release: make(chan struct{})}
+}
+
+// Release unblocks every past and future ParseCtx call.
+func (p *HangParser) Release() {
+	p.once.Do(func() { close(p.release) })
+}
+
+// Name implements core.Parser.
+func (p *HangParser) Name() string { return "HangParser" }
+
+// Parse implements core.Parser.
+func (p *HangParser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
+	return p.ParseCtx(context.Background(), msgs)
+}
+
+// ParseCtx implements core.Parser by blocking.
+func (p *HangParser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.ParseResult, error) {
+	p.Hung.Add(1)
+	if p.HonorCtx {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-p.release:
+			return nil, context.Canceled
+		}
+	}
+	<-p.release
+	return nil, context.Canceled
+}
+
+// FlakyParser fails its first Failures calls with Err (a transient error by
+// default), then delegates to Inner — the shape of a source or parser that
+// recovers, exercising retry-with-backoff.
+type FlakyParser struct {
+	Inner core.Parser
+	Err   error
+
+	remaining atomic.Int64
+	// Calls counts every ParseCtx invocation.
+	Calls atomic.Int64
+}
+
+var _ core.Parser = (*FlakyParser)(nil)
+
+// NewFlakyParser builds a parser failing the first failures calls with err;
+// a nil err defaults to a transient *InjectedError.
+func NewFlakyParser(inner core.Parser, failures int, err error) *FlakyParser {
+	p := &FlakyParser{Inner: inner, Err: err}
+	p.remaining.Store(int64(failures))
+	return p
+}
+
+// Name implements core.Parser.
+func (p *FlakyParser) Name() string { return "Flaky" + p.Inner.Name() }
+
+// Parse implements core.Parser.
+func (p *FlakyParser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
+	return p.ParseCtx(context.Background(), msgs)
+}
+
+// ParseCtx implements core.Parser.
+func (p *FlakyParser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.ParseResult, error) {
+	p.Calls.Add(1)
+	if p.remaining.Add(-1) >= 0 {
+		if p.Err != nil {
+			return nil, p.Err
+		}
+		return nil, &InjectedError{}
+	}
+	return p.Inner.ParseCtx(ctx, msgs)
+}
+
+// SlowParser sleeps for Delay (honouring ctx) before delegating to Inner —
+// a straggler that finishes when given time, exercising the
+// deadline-versus-degradation tradeoff.
+type SlowParser struct {
+	Inner core.Parser
+	Delay time.Duration
+}
+
+var _ core.Parser = SlowParser{}
+
+// Name implements core.Parser.
+func (p SlowParser) Name() string { return "Slow" + p.Inner.Name() }
+
+// Parse implements core.Parser.
+func (p SlowParser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
+	return p.ParseCtx(context.Background(), msgs)
+}
+
+// ParseCtx implements core.Parser.
+func (p SlowParser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.ParseResult, error) {
+	t := time.NewTimer(p.Delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-t.C:
+	}
+	return p.Inner.ParseCtx(ctx, msgs)
+}

@@ -1,0 +1,24 @@
+package iplom
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"logparse/internal/core"
+)
+
+func TestParseCtxCancelled(t *testing.T) {
+	msgs := make([]core.LogMessage, 100)
+	for i := range msgs {
+		l := fmt.Sprintf("request %d served by node n%d ok", i, i%5)
+		msgs[i] = core.LogMessage{LineNo: i + 1, Content: l, Tokens: core.Tokenize(l)}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := New(Options{})
+	if _, err := p.ParseCtx(ctx, msgs); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

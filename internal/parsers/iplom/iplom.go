@@ -12,6 +12,7 @@
 package iplom
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -105,6 +106,13 @@ type partition struct {
 
 // Parse implements core.Parser.
 func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
+	return p.ParseCtx(context.Background(), msgs)
+}
+
+// ParseCtx implements core.Parser, checking ctx at every partition boundary
+// of the hierarchical recursion (steps 1→2→3): each split call is O(partition
+// size × token length), so partition boundaries bound cancellation latency.
+func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.ParseResult, error) {
 	if len(msgs) == 0 {
 		return nil, core.ErrNoMessages
 	}
@@ -125,6 +133,9 @@ func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
 	minSize := int(p.opts.FileSupport * float64(len(msgs)))
 	var leaves []partition
 	for _, l := range lengths {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("iplom: partitioning: %w", err)
+		}
 		part := partition{length: l, members: byLen[l]}
 		if len(part.members) < minSize {
 			outliers = append(outliers, part.members...)
@@ -136,6 +147,9 @@ func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
 		}
 		// Step 2: partition by token position.
 		for _, child := range p.splitByPosition(part, msgs) {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("iplom: partitioning: %w", err)
+			}
 			if len(child.members) < minSize {
 				outliers = append(outliers, child.members...)
 				continue
@@ -161,6 +175,9 @@ func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
 		res.Assignment[i] = core.OutlierID
 	}
 	for idx, leaf := range leaves {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("iplom: template generation: %w", err)
+		}
 		seqs := make([][]string, len(leaf.members))
 		for j, m := range leaf.members {
 			seqs[j] = msgs[m].Tokens

@@ -1,0 +1,47 @@
+package lke
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"logparse/internal/core"
+)
+
+// TestParseCtxDeadlineInterruptsQuadraticLoop is the RQ2 motivation test:
+// the Θ(n²) clustering must stop promptly when the deadline passes instead
+// of running to completion.
+func TestParseCtxDeadlineInterruptsQuadraticLoop(t *testing.T) {
+	n := 1200 // ~0.7M pairwise distances: long enough to straddle the deadline
+	msgs := make([]core.LogMessage, n)
+	for i := range msgs {
+		l := fmt.Sprintf("worker %d finished stage s%d with code c%d", i, i%17, i%3)
+		msgs[i] = core.LogMessage{LineNo: i + 1, Content: l, Tokens: core.Tokenize(l)}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := New(Options{Threshold: 0.3}).ParseCtx(ctx, msgs)
+	elapsed := time.Since(start)
+	if err == nil {
+		// Fast machines may finish inside the deadline; that is fine.
+		t.Skip("input parsed inside the deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancellation latency %v far beyond the 30ms deadline", elapsed)
+	}
+}
+
+func TestParseCtxCancelledUpfront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	msgs := []core.LogMessage{{LineNo: 1, Content: "a b", Tokens: []string{"a", "b"}}}
+	if _, err := New(Options{}).ParseCtx(ctx, msgs); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

@@ -19,6 +19,7 @@
 package lke
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -86,10 +87,25 @@ func (p *Parser) Name() string { return "LKE" }
 // clustering itself remains quadratic as in the original).
 const thresholdSamplePairs = 20000
 
+// cancelCheckStride is how many pairwise distances the clustering loop
+// computes between context checks. The Θ(n²) loop is the reason LKE cannot
+// finish large inputs (Finding 3), so it is exactly the loop a deadline must
+// be able to interrupt.
+const cancelCheckStride = 8192
+
 // Parse implements core.Parser.
 func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
+	return p.ParseCtx(context.Background(), msgs)
+}
+
+// ParseCtx implements core.Parser, checking ctx inside the Θ(n²) clustering
+// loop so an over-budget parse cancels promptly.
+func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.ParseResult, error) {
 	if len(msgs) == 0 {
 		return nil, core.ErrNoMessages
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("lke: %w", err)
 	}
 	if p.opts.MaxMessages > 0 && len(msgs) > p.opts.MaxMessages {
 		return nil, fmt.Errorf("%w: %d messages > limit %d", ErrTooLarge, len(msgs), p.opts.MaxMessages)
@@ -104,8 +120,15 @@ func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
 	// threshold merges the two clusters (§IV-B discusses how this strategy
 	// collapses HPC into one cluster).
 	uf := cluster.NewUnionFind(n)
+	sinceCheck := 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
+			if sinceCheck++; sinceCheck >= cancelCheckStride {
+				sinceCheck = 0
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("lke: clustering: %w", err)
+				}
+			}
 			if uf.Find(i) == uf.Find(j) {
 				continue
 			}

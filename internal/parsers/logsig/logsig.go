@@ -17,6 +17,7 @@
 package logsig
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -68,8 +69,20 @@ type pair struct {
 	a, b string
 }
 
+// cancelCheckStride is how many messages one local-search sweep handles
+// between context checks; LogSig's local search is the paper's slowest
+// non-quadratic phase, so sweeps must be interruptible mid-iteration.
+const cancelCheckStride = 512
+
 // Parse implements core.Parser.
 func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
+	return p.ParseCtx(context.Background(), msgs)
+}
+
+// ParseCtx implements core.Parser, checking ctx inside the local-search
+// iterations (LogSig's dominant cost) so a deadline interrupts the search
+// rather than waiting for convergence.
+func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.ParseResult, error) {
 	if len(msgs) == 0 {
 		return nil, core.ErrNoMessages
 	}
@@ -93,7 +106,10 @@ func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
 	var group, size []int
 	bestPotential := -1.0
 	for restart := 0; restart < p.opts.Restarts; restart++ {
-		g, s, c := p.localSearch(pairsOf, k, p.opts.Seed+int64(restart))
+		g, s, c, err := p.localSearch(ctx, pairsOf, k, p.opts.Seed+int64(restart))
+		if err != nil {
+			return nil, err
+		}
 		pot := potential(pairsOf, g, c, s)
 		if pot > bestPotential {
 			bestPotential = pot
@@ -130,8 +146,9 @@ func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
 }
 
 // localSearch runs one randomly initialised local-search pass and returns
-// the converged assignment, group sizes and per-group pair counts.
-func (p *Parser) localSearch(pairsOf [][]pair, k int, seed int64) ([]int, []int, []map[pair]int) {
+// the converged assignment, group sizes and per-group pair counts. It checks
+// ctx every cancelCheckStride messages of every sweep.
+func (p *Parser) localSearch(ctx context.Context, pairsOf [][]pair, k int, seed int64) ([]int, []int, []map[pair]int, error) {
 	n := len(pairsOf)
 	rng := rand.New(rand.NewSource(seed))
 	group := make([]int, n)
@@ -151,6 +168,11 @@ func (p *Parser) localSearch(pairsOf [][]pair, k int, seed int64) ([]int, []int,
 	for iter := 0; iter < p.opts.MaxIterations; iter++ {
 		moved := 0
 		for i := 0; i < n; i++ {
+			if i%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, nil, nil, fmt.Errorf("logsig: local search iteration %d: %w", iter, err)
+				}
+			}
 			best, bestScore := group[i], -1.0
 			for g := 0; g < k; g++ {
 				s := score(pairsOf[i], count[g], size[g])
@@ -178,7 +200,7 @@ func (p *Parser) localSearch(pairsOf [][]pair, k int, seed int64) ([]int, []int,
 			break
 		}
 	}
-	return group, size, count
+	return group, size, count, nil
 }
 
 // potential is the global objective Σ_X Σ_{r∈R(X)} p(r, C_X)², the value

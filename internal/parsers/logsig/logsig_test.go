@@ -1,6 +1,7 @@
 package logsig
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -186,7 +187,10 @@ func TestRestartsImprovePotentialMonotonically(t *testing.T) {
 	p := New(Options{NumGroups: 30, Seed: 5, Restarts: 1})
 	var pots []float64
 	for r := int64(0); r < 3; r++ {
-		g, s, c := p.localSearch(pairsOf, 30, 5+r)
+		g, s, c, err := p.localSearch(context.Background(), pairsOf, 30, 5+r)
+		if err != nil {
+			t.Fatal(err)
+		}
 		pots = append(pots, potential(pairsOf, g, c, s))
 	}
 	maxPot := pots[0]
@@ -198,7 +202,10 @@ func TestRestartsImprovePotentialMonotonically(t *testing.T) {
 	// Reconstruct what the Restarts=3 parser would pick.
 	best := -1.0
 	for r := int64(0); r < 3; r++ {
-		g, s, c := p.localSearch(pairsOf, 30, 5+r)
+		g, s, c, err := p.localSearch(context.Background(), pairsOf, 30, 5+r)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if pot := potential(pairsOf, g, c, s); pot > best {
 			best = pot
 		}

@@ -6,19 +6,28 @@
 // event). The ablation benchmarks compare it against sequential parsing in
 // both wall-clock time and accuracy (merging can split events whose
 // variable parts freeze differently across shards).
+//
+// The harness is fault-isolating: a shard whose parser panics fails the
+// parse with a wrapped *robust.PanicError instead of killing the process,
+// a failed shard factory surfaces as a returned error, and cancellation of
+// the parse context (or the first shard failure) stops the remaining
+// shards.
 package parallel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"logparse/internal/core"
+	"logparse/internal/robust"
 )
 
 // Factory builds one parser instance per shard. Instances must be
-// independent (they run concurrently).
-type Factory func(shard int) core.Parser
+// independent (they run concurrently). A factory error fails the parse.
+type Factory func(shard int) (core.Parser, error)
 
 // Parser is a sharded wrapper around a base parsing algorithm.
 type Parser struct {
@@ -44,6 +53,13 @@ func (p *Parser) Name() string { return "Parallel" + p.name }
 
 // Parse implements core.Parser: scatter, parse, merge.
 func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
+	return p.ParseCtx(context.Background(), msgs)
+}
+
+// ParseCtx implements core.Parser. The context is plumbed into every shard;
+// the first shard failure cancels the rest, so one poisoned shard does not
+// leave the others running to completion.
+func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.ParseResult, error) {
 	if len(msgs) == 0 {
 		return nil, core.ErrNoMessages
 	}
@@ -57,6 +73,8 @@ func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
 	for i := 0; i <= shards; i++ {
 		bounds[i] = i * len(msgs) / shards
 	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	results := make([]*core.ParseResult, shards)
 	errs := make([]error, shards)
 	var wg sync.WaitGroup
@@ -64,26 +82,58 @@ func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			parser := p.factory(s)
-			res, err := parser.Parse(msgs[bounds[s]:bounds[s+1]])
-			if err != nil {
+			fail := func(err error) {
 				errs[s] = fmt.Errorf("parallel: shard %d: %w", s, err)
+				cancel()
+			}
+			parser, err := p.factory(s)
+			if err != nil {
+				fail(fmt.Errorf("factory: %w", err))
+				return
+			}
+			// SafeParseCtx turns a panicking shard into an error on this
+			// shard instead of crashing the process.
+			res, err := robust.SafeParseCtx(sctx, parser, msgs[bounds[s]:bounds[s+1]])
+			if err != nil {
+				fail(err)
 				return
 			}
 			if err := res.Validate(bounds[s+1] - bounds[s]); err != nil {
-				errs[s] = fmt.Errorf("parallel: shard %d: %w", s, err)
+				fail(err)
 				return
 			}
 			results[s] = res
 		}(s)
 	}
 	wg.Wait()
+	// Report the first shard error in shard order for determinism, but
+	// prefer a real failure over the cancellations it induced in peers.
+	var ctxErr error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		if sctx.Err() != nil && ctx.Err() == nil && isCancellation(err) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return mergeShards(msgs, results, bounds), nil
+}
+
+// isCancellation reports whether a shard error is just the propagated
+// cancellation of the shared shard context.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // mergeShards unifies per-shard templates by template string and rewrites

@@ -1,8 +1,10 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"logparse/internal/core"
@@ -10,17 +12,18 @@ import (
 	"logparse/internal/gen"
 	"logparse/internal/parsers/iplom"
 	"logparse/internal/parsers/slct"
+	"logparse/internal/robust"
 )
 
 func TestParseEmptyInput(t *testing.T) {
-	p := New("IPLoM", 2, func(int) core.Parser { return iplom.New(iplom.Options{}) })
+	p := New("IPLoM", 2, func(int) (core.Parser, error) { return iplom.New(iplom.Options{}), nil })
 	if _, err := p.Parse(nil); !errors.Is(err, core.ErrNoMessages) {
 		t.Errorf("err = %v, want ErrNoMessages", err)
 	}
 }
 
 func TestName(t *testing.T) {
-	p := New("SLCT", 2, func(int) core.Parser { return slct.New(slct.Options{}) })
+	p := New("SLCT", 2, func(int) (core.Parser, error) { return slct.New(slct.Options{}), nil })
 	if got := p.Name(); got != "ParallelSLCT" {
 		t.Errorf("Name() = %q", got)
 	}
@@ -28,7 +31,7 @@ func TestName(t *testing.T) {
 
 func TestMergePreservesAssignments(t *testing.T) {
 	msgs := gen.HDFS().Generate(7, 4000)
-	p := New("IPLoM", 4, func(int) core.Parser { return iplom.New(iplom.Options{}) })
+	p := New("IPLoM", 4, func(int) (core.Parser, error) { return iplom.New(iplom.Options{}), nil })
 	res, err := p.Parse(msgs)
 	if err != nil {
 		t.Fatal(err)
@@ -60,7 +63,7 @@ func TestMergeUnifiesIdenticalTemplates(t *testing.T) {
 	for i, l := range lines {
 		msgs[i] = core.LogMessage{LineNo: i + 1, Content: l, Tokens: core.Tokenize(l)}
 	}
-	p := New("IPLoM", 2, func(int) core.Parser { return iplom.New(iplom.Options{}) })
+	p := New("IPLoM", 2, func(int) (core.Parser, error) { return iplom.New(iplom.Options{}), nil })
 	res, err := p.Parse(msgs)
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +83,7 @@ func TestAccuracyComparableToSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := New("IPLoM", 4, func(int) core.Parser { return iplom.New(iplom.Options{}) }).Parse(msgs)
+	par, err := New("IPLoM", 4, func(int) (core.Parser, error) { return iplom.New(iplom.Options{}), nil }).Parse(msgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +102,7 @@ func TestAccuracyComparableToSequential(t *testing.T) {
 
 func TestShardCountLargerThanInput(t *testing.T) {
 	msgs := gen.Proxifier().Generate(1, 3)
-	p := New("IPLoM", 16, func(int) core.Parser { return iplom.New(iplom.Options{}) })
+	p := New("IPLoM", 16, func(int) (core.Parser, error) { return iplom.New(iplom.Options{}), nil })
 	res, err := p.Parse(msgs)
 	if err != nil {
 		t.Fatal(err)
@@ -115,10 +118,13 @@ func (failingParser) Name() string { return "fail" }
 func (failingParser) Parse([]core.LogMessage) (*core.ParseResult, error) {
 	return nil, errors.New("shard exploded")
 }
+func (p failingParser) ParseCtx(_ context.Context, msgs []core.LogMessage) (*core.ParseResult, error) {
+	return p.Parse(msgs)
+}
 
 func TestShardErrorPropagates(t *testing.T) {
 	msgs := gen.Proxifier().Generate(1, 100)
-	p := New("fail", 4, func(int) core.Parser { return failingParser{} })
+	p := New("fail", 4, func(int) (core.Parser, error) { return failingParser{}, nil })
 	if _, err := p.Parse(msgs); err == nil {
 		t.Error("shard error swallowed")
 	}
@@ -131,7 +137,7 @@ func TestOutliersSurviveMerge(t *testing.T) {
 		msgs = append(msgs, core.LogMessage{LineNo: i + 1, Content: l, Tokens: core.Tokenize(l)})
 	}
 	msgs = append(msgs, core.LogMessage{LineNo: 101, Content: "totally unique line", Tokens: core.Tokenize("totally unique line")})
-	p := New("SLCT", 2, func(int) core.Parser { return slct.New(slct.Options{Support: 10}) })
+	p := New("SLCT", 2, func(int) (core.Parser, error) { return slct.New(slct.Options{Support: 10}), nil })
 	res, err := p.Parse(msgs)
 	if err != nil {
 		t.Fatal(err)
@@ -139,4 +145,82 @@ func TestOutliersSurviveMerge(t *testing.T) {
 	if res.Assignment[100] != core.OutlierID {
 		t.Error("outlier lost its status in the merge")
 	}
+}
+
+type panickingParser struct{}
+
+func (panickingParser) Name() string { return "panic" }
+func (panickingParser) Parse([]core.LogMessage) (*core.ParseResult, error) {
+	panic("shard blew up")
+}
+func (p panickingParser) ParseCtx(context.Context, []core.LogMessage) (*core.ParseResult, error) {
+	panic("shard blew up")
+}
+
+func TestPanickingShardFailsParseNotProcess(t *testing.T) {
+	msgs := gen.Proxifier().Generate(1, 100)
+	p := New("panic", 4, func(int) (core.Parser, error) { return panickingParser{}, nil })
+	_, err := p.Parse(msgs)
+	if err == nil {
+		t.Fatal("shard panic swallowed")
+	}
+	var pe *robust.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want wrapped *robust.PanicError", err, err)
+	}
+	if !strings.Contains(err.Error(), "shard") {
+		t.Errorf("error does not identify the shard: %v", err)
+	}
+}
+
+func TestFactoryErrorFailsParse(t *testing.T) {
+	msgs := gen.Proxifier().Generate(1, 100)
+	boom := errors.New("bad shard config")
+	p := New("broken", 4, func(shard int) (core.Parser, error) {
+		if shard == 2 {
+			return nil, boom
+		}
+		return iplom.New(iplom.Options{}), nil
+	})
+	_, err := p.Parse(msgs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped factory error", err)
+	}
+}
+
+func TestParseCtxCancelledStopsShards(t *testing.T) {
+	msgs := gen.Proxifier().Generate(1, 200)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := New("IPLoM", 4, func(int) (core.Parser, error) { return iplom.New(iplom.Options{}), nil })
+	if _, err := p.ParseCtx(ctx, msgs); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestOneFailingShardDoesNotReportPeerCancellation(t *testing.T) {
+	// Shard 3 fails with a real error which cancels the peers; the parse
+	// must surface the real error, not a peer's context.Canceled.
+	msgs := gen.Proxifier().Generate(1, 400)
+	boom := errors.New("disk on fire")
+	p := New("mixed", 4, func(shard int) (core.Parser, error) {
+		if shard == 3 {
+			return failingWithErr{boom}, nil
+		}
+		return iplom.New(iplom.Options{}), nil
+	})
+	_, err := p.Parse(msgs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the real shard error", err)
+	}
+}
+
+type failingWithErr struct{ err error }
+
+func (f failingWithErr) Name() string { return "failerr" }
+func (f failingWithErr) Parse([]core.LogMessage) (*core.ParseResult, error) {
+	return nil, f.err
+}
+func (f failingWithErr) ParseCtx(context.Context, []core.LogMessage) (*core.ParseResult, error) {
+	return nil, f.err
 }

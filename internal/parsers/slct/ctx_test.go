@@ -1,0 +1,54 @@
+package slct
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"logparse/internal/core"
+)
+
+func ctxTestMsgs(n int) []core.LogMessage {
+	msgs := make([]core.LogMessage, n)
+	for i := range msgs {
+		l := fmt.Sprintf("request %d served by node n%d ok", i, i%5)
+		msgs[i] = core.LogMessage{LineNo: i + 1, Content: l, Tokens: core.Tokenize(l)}
+	}
+	return msgs
+}
+
+func TestParseCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := New(Options{Support: 2})
+	if _, err := p.ParseCtx(ctx, ctxTestMsgs(100)); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestParseCtxBackgroundMatchesParse(t *testing.T) {
+	msgs := ctxTestMsgs(500)
+	p := New(Options{Support: 5})
+	a, err := p.Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.ParseCtx(context.Background(), msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Templates) != len(b.Templates) {
+		t.Errorf("Parse and ParseCtx diverge: %d vs %d templates", len(a.Templates), len(b.Templates))
+	}
+}
+
+func TestParseCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	p := New(Options{Support: 2})
+	if _, err := p.ParseCtx(ctx, ctxTestMsgs(100)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -8,6 +8,7 @@
 package slct
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -68,8 +69,19 @@ type posWord struct {
 	word string
 }
 
+// cancelCheckStride is how many messages each pass handles between context
+// checks; cheap enough to keep cancellation latency low without measurable
+// per-line overhead.
+const cancelCheckStride = 4096
+
 // Parse implements core.Parser.
 func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
+	return p.ParseCtx(context.Background(), msgs)
+}
+
+// ParseCtx implements core.Parser, checking ctx between passes and every
+// cancelCheckStride lines within each pass.
+func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.ParseResult, error) {
 	if len(msgs) == 0 {
 		return nil, core.ErrNoMessages
 	}
@@ -78,6 +90,11 @@ func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
 	// Pass 1: word-position vocabulary.
 	vocab := make(map[posWord]int)
 	for i := range msgs {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("slct: pass 1: %w", err)
+			}
+		}
 		for pos, w := range msgs[i].Tokens {
 			vocab[posWord{pos, w}]++
 		}
@@ -98,6 +115,11 @@ func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
 	candidates := make(map[string]*candidate)
 	keys := make([]string, len(msgs)) // candidate key per message ("" = none)
 	for i := range msgs {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("slct: pass 2: %w", err)
+			}
+		}
 		var pairs []posWord
 		var sb strings.Builder
 		for pos, w := range msgs[i].Tokens {

@@ -1,0 +1,44 @@
+package robust
+
+import (
+	"context"
+
+	"logparse/internal/core"
+	"logparse/internal/match"
+)
+
+// matcherParser adapts a template Matcher into a core.Parser that types
+// every message against a fixed template set in O(line length) and never
+// fails: unmatched messages become outliers. It is the natural last tier of
+// a degradation chain — when every mining parser times out or crashes, the
+// service still answers with the templates it already knows.
+type matcherParser struct {
+	m *match.Matcher
+}
+
+var _ core.Parser = matcherParser{}
+
+// Name implements core.Parser.
+func (mp matcherParser) Name() string { return "Matcher" }
+
+// Parse implements core.Parser.
+func (mp matcherParser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
+	return mp.ParseCtx(context.Background(), msgs)
+}
+
+// ParseCtx implements core.Parser. Matching is O(n·line length) with no
+// blow-up cases, so a single up-front context check suffices.
+func (mp matcherParser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.ParseResult, error) {
+	if len(msgs) == 0 {
+		return nil, core.ErrNoMessages
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return mp.m.Apply(msgs), nil
+}
+
+// MatcherTier wraps a template matcher as a passthrough fallback tier.
+func MatcherTier(m *match.Matcher) Tier {
+	return Tier{Name: "Matcher", Parser: matcherParser{m}}
+}

@@ -1,0 +1,65 @@
+package robust
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"logparse/internal/core"
+)
+
+// Retry runs op until it succeeds, fails non-transiently, exhausts
+// pol.MaxRetries, or ctx ends. It is the generic retry-with-backoff used for
+// transient source failures (flaky readers, remote log stores); parse-side
+// retries are handled inside Parser.ParseAttributed.
+func Retry(ctx context.Context, pol Policy, op func(context.Context) error) error {
+	pol = pol.withDefaults()
+	rng := rand.New(rand.NewSource(pol.Seed))
+	var err error
+	for try := 0; ; try++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = op(ctx); err == nil {
+			return nil
+		}
+		if try >= pol.MaxRetries || !IsTransient(err) {
+			return err
+		}
+		d := pol.BackoffBase << uint(try)
+		if d > pol.BackoffMax || d <= 0 {
+			d = pol.BackoffMax
+		}
+		if pol.JitterFrac > 0 {
+			d = time.Duration(float64(d) * (1 + pol.JitterFrac*(2*rng.Float64()-1)))
+		}
+		if serr := sleepCtx(ctx, d); serr != nil {
+			return fmt.Errorf("%w (last attempt: %w)", serr, err)
+		}
+	}
+}
+
+// ReadMessagesRetry reads log messages from a re-openable source, retrying
+// the whole read under pol when it fails transiently (each retry re-opens
+// the source, so a half-consumed stream is never resumed mid-way). opts
+// configures parsing of the line format as in core.ReadMessagesOpts; the
+// stats of the successful attempt are returned.
+func ReadMessagesRetry(ctx context.Context, pol Policy, open func() (io.ReadCloser, error), opts core.ReadOptions) ([]core.LogMessage, core.ReadStats, error) {
+	var msgs []core.LogMessage
+	var stats core.ReadStats
+	err := Retry(ctx, pol, func(context.Context) error {
+		rc, err := open()
+		if err != nil {
+			return fmt.Errorf("robust: open source: %w", err)
+		}
+		defer rc.Close()
+		msgs, stats, err = core.ReadMessagesOpts(rc, opts)
+		return err
+	})
+	if err != nil {
+		return nil, core.ReadStats{}, err
+	}
+	return msgs, stats, nil
+}

@@ -24,6 +24,17 @@
 //	for _, t := range result.Templates {
 //		fmt.Println(t.ID, t)
 //	}
+//
+// # Cancellation and fault tolerance
+//
+// Every Parser also implements ParseCtx(ctx, msgs), which checks ctx
+// cooperatively inside each algorithm's hot loop (LKE's Θ(n²) clustering,
+// LogSig's local-search sweeps, IPLoM's partition recursion, SLCT's two
+// passes), so a deadline or cancellation interrupts even a parse that
+// would otherwise run for hours. Parse(msgs) is shorthand for ParseCtx
+// with context.Background(). For unattended production use, wrap parsers
+// in a RobustParser (see NewRobustParser): panic isolation, per-tier
+// deadlines, transient-failure retries, and a degradation chain.
 package logparse
 
 import (

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 verification: build, vet, and race-checked tests for the whole
+# module. Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
