@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"logparse"
+	"logparse/internal/conform"
 	"logparse/internal/core"
 	"logparse/internal/eval"
 	"logparse/internal/experiments"
@@ -399,4 +401,66 @@ func BenchmarkMatcherThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(fresh)), "lines/op")
+}
+
+// BenchmarkConformSuite measures what the conformance harness adds on top
+// of a plain parse: canonicalization, the clustering signature, and the
+// SHA-256 digest that golden files freeze. The "overhead-%" metric is the
+// harness cost as a percentage of the bare parse — it is the price every
+// differential/golden check pays per cell, and it must stay a small
+// fraction of the parse itself.
+func BenchmarkConformSuite(b *testing.B) {
+	for _, tc := range []struct{ parser, dataset string }{
+		{"SLCT", "HDFS"},
+		{"IPLoM", "BGL"},
+	} {
+		factory := benchFactory(b, tc.parser, tc.dataset)
+		cat, err := gen.ByName(tc.dataset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs := cat.Generate(42, 2000)
+		b.Run(tc.parser+"/"+tc.dataset+"/parse-only", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := factory(1).Parse(msgs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.parser+"/"+tc.dataset+"/parse+digest", func(b *testing.B) {
+			parseNS := benchNSPerOp(b, func() {
+				if _, err := factory(1).Parse(msgs); err != nil {
+					b.Fatal(err)
+				}
+			})
+			res, err := factory(1).Parse(msgs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				canon := conform.MergeEqualTemplates(res).Canonical()
+				if d := conform.Digest(canon); d == "" {
+					b.Fatal("empty digest")
+				}
+			}
+			b.StopTimer()
+			harnessNS := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if parseNS > 0 {
+				b.ReportMetric(100*harnessNS/parseNS, "overhead-%")
+			}
+		})
+	}
+}
+
+// benchNSPerOp times fn outside the benchmark's own loop, for overhead
+// ratios.
+func benchNSPerOp(b *testing.B, fn func()) float64 {
+	b.Helper()
+	const reps = 3
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / reps
 }

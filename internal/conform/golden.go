@@ -1,0 +1,207 @@
+package conform
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Golden is one frozen conformance snapshot: the exact digest of a
+// canonicalized parse of a deterministic sample, plus the template strings
+// behind it so that drift fails with a readable template-level diff rather
+// than an opaque hash mismatch.
+//
+// Golden files are committed under testdata/golden and regenerated only
+// via cmd/conformgen; an update must be a deliberate, reviewed diff (see
+// DESIGN.md, "Correctness harness").
+type Golden struct {
+	// Dataset, Parser, Seed and N identify the Case.
+	Dataset string
+	Parser  string
+	Seed    int64
+	N       int
+	// AlgSeed is the algorithm seed the parse ran under (meaningful for
+	// LKE and LogSig; seedless parsers ignore it).
+	AlgSeed int64
+	// MessagesDigest freezes the generated sample, so golden failures can
+	// tell generator drift from parser drift.
+	MessagesDigest string
+	// ResultDigest freezes the canonical parse (templates + clustering).
+	ResultDigest string
+	// Templates is the canonical sorted template-string list.
+	Templates []string
+}
+
+// Filename is the golden file name for the snapshot's case.
+func (g *Golden) Filename() string { return g.Dataset + "-" + g.Parser + ".golden" }
+
+// ComputeGolden parses the case's sample and builds its snapshot.
+func ComputeGolden(c Case, algSeed int64) (*Golden, error) {
+	factory, err := c.Factory()
+	if err != nil {
+		return nil, err
+	}
+	msgs := c.Messages()
+	res, err := factory(algSeed).Parse(msgs)
+	if err != nil {
+		return nil, fmt.Errorf("conform: golden parse %s: %w", c.Name(), err)
+	}
+	return &Golden{
+		Dataset:        c.Dataset,
+		Parser:         c.Parser,
+		Seed:           c.Seed,
+		N:              c.N,
+		AlgSeed:        algSeed,
+		MessagesDigest: MessagesDigest(msgs),
+		ResultDigest:   Digest(res),
+		Templates:      TemplateStrings(res),
+	}, nil
+}
+
+// Encode renders the snapshot in the golden file format: a small header of
+// "key: value" lines followed by the template list.
+func (g *Golden) Encode() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# conformance golden corpus — regenerate with: go run ./cmd/conformgen\n")
+	fmt.Fprintf(&b, "dataset: %s\n", g.Dataset)
+	fmt.Fprintf(&b, "parser: %s\n", g.Parser)
+	fmt.Fprintf(&b, "seed: %d\n", g.Seed)
+	fmt.Fprintf(&b, "n: %d\n", g.N)
+	fmt.Fprintf(&b, "algseed: %d\n", g.AlgSeed)
+	fmt.Fprintf(&b, "messages: sha256:%s\n", g.MessagesDigest)
+	fmt.Fprintf(&b, "digest: sha256:%s\n", g.ResultDigest)
+	fmt.Fprintf(&b, "templates: %d\n", len(g.Templates))
+	for _, t := range g.Templates {
+		fmt.Fprintf(&b, "%s\n", t)
+	}
+	return b.Bytes()
+}
+
+// DecodeGolden parses the golden file format.
+func DecodeGolden(data []byte) (*Golden, error) {
+	g := &Golden{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	inTemplates := false
+	want := -1
+	for sc.Scan() {
+		line := sc.Text()
+		if inTemplates {
+			if line == "" {
+				continue
+			}
+			g.Templates = append(g.Templates, line)
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, value, ok := strings.Cut(line, ": ")
+		if !ok {
+			return nil, fmt.Errorf("conform: malformed golden header line %q", line)
+		}
+		var err error
+		switch key {
+		case "dataset":
+			g.Dataset = value
+		case "parser":
+			g.Parser = value
+		case "seed":
+			g.Seed, err = strconv.ParseInt(value, 10, 64)
+		case "n":
+			g.N, err = strconv.Atoi(value)
+		case "algseed":
+			g.AlgSeed, err = strconv.ParseInt(value, 10, 64)
+		case "messages":
+			g.MessagesDigest = strings.TrimPrefix(value, "sha256:")
+		case "digest":
+			g.ResultDigest = strings.TrimPrefix(value, "sha256:")
+		case "templates":
+			want, err = strconv.Atoi(value)
+			inTemplates = true
+		default:
+			return nil, fmt.Errorf("conform: unknown golden header key %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("conform: golden header %s: %w", key, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("conform: read golden: %w", err)
+	}
+	if g.Dataset == "" || g.Parser == "" || g.N == 0 {
+		return nil, fmt.Errorf("conform: golden file missing dataset/parser/n header")
+	}
+	if want >= 0 && want != len(g.Templates) {
+		return nil, fmt.Errorf("conform: golden file declares %d templates but lists %d", want, len(g.Templates))
+	}
+	return g, nil
+}
+
+// Compare checks a freshly computed snapshot against the frozen one and
+// returns a human-readable explanation of any drift: generator drift is
+// distinguished from parser drift, and parser drift is reported as a
+// template-level diff ("-" lines vanished from the frozen set, "+" lines
+// are new).
+func (g *Golden) Compare(fresh *Golden) error {
+	if g.MessagesDigest != fresh.MessagesDigest {
+		return fmt.Errorf("golden %s: generated sample drifted (messages digest %.12s… != frozen %.12s…): "+
+			"the dataset generator changed, not the parser; regenerate goldens deliberately with cmd/conformgen",
+			g.Filename(), fresh.MessagesDigest, g.MessagesDigest)
+	}
+	if g.ResultDigest == fresh.ResultDigest {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "golden %s: parse drifted (digest %.12s… != frozen %.12s…)\n",
+		g.Filename(), fresh.ResultDigest, g.ResultDigest)
+	fmt.Fprintf(&b, "template diff (frozen → fresh, %d → %d templates):\n", len(g.Templates), len(fresh.Templates))
+	diff := DiffStrings(g.Templates, fresh.Templates)
+	if diff == "" {
+		diff = "  (template set unchanged — the clustering of messages onto templates drifted)"
+	}
+	b.WriteString(diff)
+	return fmt.Errorf("%s", b.String())
+}
+
+// DiffStrings renders a set-style diff of two sorted string lists:
+// "- line" for entries only in old, "+ line" for entries only in new.
+// Multiplicity is respected (a template string appearing twice in one
+// list and once in the other shows up once in the diff).
+func DiffStrings(old, new []string) string {
+	counts := make(map[string]int, len(old))
+	for _, s := range old {
+		counts[s]++
+	}
+	for _, s := range new {
+		counts[s]--
+	}
+	var removed, added []string
+	for _, s := range old {
+		if counts[s] > 0 {
+			removed = append(removed, s)
+			counts[s]--
+		}
+	}
+	counts = make(map[string]int, len(new))
+	for _, s := range old {
+		counts[s]++
+	}
+	for _, s := range new {
+		if counts[s] > 0 {
+			counts[s]--
+			continue
+		}
+		added = append(added, s)
+	}
+	var b strings.Builder
+	for _, s := range removed {
+		fmt.Fprintf(&b, "  - %s\n", s)
+	}
+	for _, s := range added {
+		fmt.Fprintf(&b, "  + %s\n", s)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package conform
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenAlgSeed mirrors cmd/conformgen: golden corpora are always frozen at
+// algorithm seed 1.
+const goldenAlgSeed = 1
+
+// TestGoldenDigests is the golden-corpus regression gate: every committed
+// golden file under testdata/golden must match a fresh parse of its cell
+// byte for byte — same generated messages, same canonical digest, same
+// template list. A mismatch fails with a template-level diff and tells the
+// reader whether the generator or the parser drifted. Regeneration is a
+// deliberate act: run `go run ./cmd/conformgen` and review the diff (see
+// DESIGN.md, "Correctness harness").
+func TestGoldenDigests(t *testing.T) {
+	dir := filepath.Join("testdata", "golden")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("golden corpus missing (regenerate with `go run ./cmd/conformgen`): %v", err)
+	}
+	byName := make(map[string]Case)
+	for _, c := range Cases() {
+		byName[c.Name()] = c
+	}
+	covered := make(map[string]bool)
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), ".golden")
+		if name == e.Name() {
+			continue
+		}
+		c, ok := byName[name]
+		if !ok {
+			t.Errorf("golden file %s matches no conformance cell (stale file?)", e.Name())
+			continue
+		}
+		covered[name] = true
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			data, err := os.ReadFile(filepath.Join(dir, c.Name()+".golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			frozen, err := DecodeGolden(data)
+			if err != nil {
+				t.Fatalf("corrupt golden file: %v", err)
+			}
+			fresh, err := ComputeGolden(c, goldenAlgSeed)
+			if err != nil {
+				t.Fatalf("recomputing %s: %v", c.Name(), err)
+			}
+			if err := frozen.Compare(fresh); err != nil {
+				t.Errorf("golden drift (deliberate change? regenerate with `go run ./cmd/conformgen` and review):\n%v", err)
+			}
+		})
+	}
+	// Every cell must be frozen: a new parser or dataset without a golden
+	// file would silently escape the regression gate.
+	for name := range byName {
+		if !covered[name] {
+			t.Errorf("cell %s has no golden file (run `go run ./cmd/conformgen`)", name)
+		}
+	}
+}
+
+// TestGoldenEncodingRoundTrip pins the golden file format itself:
+// Encode/DecodeGolden must round-trip every field.
+func TestGoldenEncodingRoundTrip(t *testing.T) {
+	c := Cases()[0]
+	g, err := ComputeGolden(c, goldenAlgSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeGolden(g.Encode())
+	if err != nil {
+		t.Fatalf("decoding freshly encoded golden: %v", err)
+	}
+	if err := g.Compare(back); err != nil {
+		t.Fatalf("round-trip changed the golden: %v", err)
+	}
+	if back.Dataset != g.Dataset || back.Parser != g.Parser ||
+		back.Seed != g.Seed || back.N != g.N || back.AlgSeed != g.AlgSeed {
+		t.Fatalf("round-trip changed metadata: %+v vs %+v", back, g)
+	}
+}

@@ -1,0 +1,396 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"logparse/internal/core"
+	"logparse/internal/eval"
+	"logparse/internal/gen"
+	"logparse/internal/linalg"
+	"logparse/internal/mining/anomaly"
+	"logparse/internal/parsers/iplom"
+	"logparse/internal/parsers/slct"
+)
+
+// metamorphicN is the sample size of the parser metamorphic tests; the
+// deterministic near-linear parsers (SLCT, IPLoM) keep a full-size sample.
+const metamorphicN = 400
+
+// sample generates the deterministic metamorphic input for a dataset.
+func sample(t *testing.T, dataset string, seed int64, n int) []core.LogMessage {
+	t.Helper()
+	cat, err := gen.ByName(dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat.Generate(seed, n)
+}
+
+// permuted returns msgs reordered under a deterministic permutation, and
+// the permutation itself (permuted[j] = msgs[perm[j]]).
+func permuted(msgs []core.LogMessage, seed int64) ([]core.LogMessage, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(msgs))
+	out := make([]core.LogMessage, len(msgs))
+	for j, orig := range perm {
+		out[j] = msgs[orig]
+	}
+	return out, perm
+}
+
+// metamorphicParsers are the deterministic parsers whose clustering must be
+// a pure function of the input multiset: input order must not matter. The
+// randomised parsers (LKE's threshold sampling, LogSig's random
+// initialisation) are exempt by construction — their oracle is per-seed
+// determinism, covered by the differential tests.
+func metamorphicParsers() map[string]func() core.Parser {
+	return map[string]func() core.Parser{
+		"SLCT":  func() core.Parser { return slct.New(slct.Options{Support: 4}) },
+		"IPLoM": func() core.Parser { return iplom.New(iplom.Options{}) },
+	}
+}
+
+// TestMetamorphicPermutation: permuting the input order must not change the
+// clustering (as a partition of the messages) or the template set.
+func TestMetamorphicPermutation(t *testing.T) {
+	for parser, mk := range metamorphicParsers() {
+		for _, dataset := range gen.Names {
+			t.Run(parser+"/"+dataset, func(t *testing.T) {
+				t.Parallel()
+				msgs := sample(t, dataset, 42, metamorphicN)
+				base, err := mk().Parse(msgs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				shuffled, perm := permuted(msgs, 7)
+				res, err := mk().Parse(shuffled)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := MappedSignature(res, perm), Signature(base); got != want {
+					t.Errorf("clustering changed under input permutation")
+				}
+				if d := DiffStrings(TemplateStrings(base), TemplateStrings(res)); d != "" {
+					t.Errorf("template set changed under input permutation:\n%s", d)
+				}
+			})
+		}
+	}
+}
+
+// TestMetamorphicCorpusDuplication: feeding every message twice with SLCT's
+// absolute support doubled is an exact rescaling — the template list must
+// be byte-identical, and each message must land in the same cluster as its
+// duplicate. (IPLoM is excluded: its step-2 split eligibility bounds are
+// relative to partition size, so doubling the corpus legitimately widens
+// which positions may split.)
+func TestMetamorphicCorpusDuplication(t *testing.T) {
+	const support = 4
+	for _, dataset := range gen.Names {
+		t.Run(dataset, func(t *testing.T) {
+			t.Parallel()
+			msgs := sample(t, dataset, 42, metamorphicN)
+			base, err := slct.New(slct.Options{Support: support}).Parse(msgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			doubled := append(append([]core.LogMessage(nil), msgs...), msgs...)
+			res, err := slct.New(slct.Options{Support: 2 * support}).Parse(doubled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base.Templates, res.Templates) {
+				t.Errorf("template list changed under corpus duplication:\n%s",
+					DiffStrings(TemplateStrings(base), TemplateStrings(res)))
+			}
+			for i := range msgs {
+				if res.Assignment[i] != base.Assignment[i] {
+					t.Fatalf("message %d moved from cluster %d to %d under corpus duplication",
+						i, base.Assignment[i], res.Assignment[i])
+				}
+				if res.Assignment[i+len(msgs)] != res.Assignment[i] {
+					t.Fatalf("message %d and its duplicate landed in different clusters (%d vs %d)",
+						i, res.Assignment[i], res.Assignment[i+len(msgs)])
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicSingleDuplication: duplicating one already-clustered
+// message must not create new templates, and the duplicate must join the
+// original's cluster. The relation holds for SLCT under a precondition the
+// test enforces: none of the message's (position, word) pairs sits exactly
+// one occurrence below the support threshold (otherwise the duplicate
+// legitimately pushes a pair over the edge and re-keys its neighbours).
+func TestMetamorphicSingleDuplication(t *testing.T) {
+	const support = 4
+	for _, dataset := range gen.Names {
+		t.Run(dataset, func(t *testing.T) {
+			t.Parallel()
+			msgs := sample(t, dataset, 42, metamorphicN)
+			base, err := slct.New(slct.Options{Support: support}).Parse(msgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pick := pickBoundarySafeMessage(msgs, base, support)
+			if pick < 0 {
+				t.Skip("no boundary-safe clustered message in sample")
+			}
+			extended := append(append([]core.LogMessage(nil), msgs...), msgs[pick])
+			res, err := slct.New(slct.Options{Support: support}).Parse(extended)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := DiffStrings(TemplateStrings(base), TemplateStrings(res)); d != "" {
+				t.Errorf("duplicating message %d changed the template set:\n%s", pick, d)
+			}
+			for i := range msgs {
+				if res.Assignment[i] != base.Assignment[i] {
+					t.Fatalf("message %d moved cluster under single duplication", i)
+				}
+			}
+			if res.Assignment[len(msgs)] != base.Assignment[pick] {
+				t.Fatalf("duplicate of message %d assigned to cluster %d, original in %d",
+					pick, res.Assignment[len(msgs)], base.Assignment[pick])
+			}
+		})
+	}
+}
+
+// pickBoundarySafeMessage returns a message index assigned to a template
+// none of whose (position, word) vocabulary counts equals support-1, or -1.
+func pickBoundarySafeMessage(msgs []core.LogMessage, res *core.ParseResult, support int) int {
+	type posWord struct {
+		pos  int
+		word string
+	}
+	vocab := make(map[posWord]int)
+	for i := range msgs {
+		for pos, w := range msgs[i].Tokens {
+			vocab[posWord{pos, w}]++
+		}
+	}
+	for i := range msgs {
+		if res.Assignment[i] == core.OutlierID {
+			continue
+		}
+		safe := true
+		for pos, w := range msgs[i].Tokens {
+			if vocab[posWord{pos, w}] == support-1 {
+				safe = false
+				break
+			}
+		}
+		if safe {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestMetamorphicFreshVariableToken: rewriting a token at a wildcard
+// (variable) position of a message's template to a never-seen value must
+// not change the clustering — that position is variable precisely because
+// the parser ignores its value. Checked for SLCT, where the relation is
+// provable: a fresh token's (position, word) count is 1, below any support
+// ≥ 2, and the displaced token was infrequent at that position (else the
+// position would not be a wildcard of the message's own template).
+func TestMetamorphicFreshVariableToken(t *testing.T) {
+	const support = 4
+	for _, dataset := range gen.Names {
+		t.Run(dataset, func(t *testing.T) {
+			t.Parallel()
+			msgs := sample(t, dataset, 42, metamorphicN)
+			base, err := slct.New(slct.Options{Support: support}).Parse(msgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pick, pos := pickWildcardPosition(msgs, base)
+			if pick < 0 {
+				t.Skip("no clustered message with a wildcard position in sample")
+			}
+			mutated := append([]core.LogMessage(nil), msgs...)
+			toks := append([]string(nil), mutated[pick].Tokens...)
+			toks[pos] = "zz-novel-value-never-seen"
+			mutated[pick].Tokens = toks
+			res, err := slct.New(slct.Options{Support: support}).Parse(mutated)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := Signature(res), Signature(base); got != want {
+				_, diff := SameClustering(base, res)
+				t.Errorf("rewriting variable token (msg %d pos %d) changed the clustering: %s", pick, pos, diff)
+			}
+			if d := DiffStrings(TemplateStrings(base), TemplateStrings(res)); d != "" {
+				t.Errorf("rewriting variable token changed the template set:\n%s", d)
+			}
+		})
+	}
+}
+
+// pickWildcardPosition finds a message assigned to a template with a
+// wildcard position inside the message's token range.
+func pickWildcardPosition(msgs []core.LogMessage, res *core.ParseResult) (msg, pos int) {
+	for i := range msgs {
+		a := res.Assignment[i]
+		if a == core.OutlierID {
+			continue
+		}
+		tmpl := res.Templates[a].Tokens
+		for p := 0; p < len(tmpl) && p < len(msgs[i].Tokens); p++ {
+			if tmpl[p] == core.Wildcard {
+				return i, p
+			}
+		}
+	}
+	return -1, -1
+}
+
+// TestFMeasureInvariants pins the algebraic properties of the pairwise
+// F-measure the whole evaluation rests on: identity on self-comparison,
+// symmetry of F under swapping predicted and truth (precision and recall
+// trade places), boundedness in [0,1], and invariance under relabelling.
+func TestFMeasureInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	randomLabels := func(n, k int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("c%d", rng.Intn(k))
+		}
+		return out
+	}
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(200)
+		a := randomLabels(n, 1+rng.Intn(12))
+		b := randomLabels(n, 1+rng.Intn(12))
+
+		self, err := eval.FMeasure(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if self.Precision != 1 || self.Recall != 1 || self.F != 1 {
+			t.Fatalf("trial %d: self-comparison = %+v, want P=R=F=1", trial, self)
+		}
+
+		ab, err := eval.FMeasure(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := eval.FMeasure(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ab.F != ba.F {
+			t.Fatalf("trial %d: F not symmetric: %v vs %v", trial, ab.F, ba.F)
+		}
+		if ab.Precision != ba.Recall || ab.Recall != ba.Precision {
+			t.Fatalf("trial %d: precision/recall do not swap under argument swap: %+v vs %+v", trial, ab, ba)
+		}
+		for _, v := range []float64{ab.Precision, ab.Recall, ab.F} {
+			if v < 0 || v > 1 {
+				t.Fatalf("trial %d: metric %v outside [0,1]", trial, v)
+			}
+		}
+
+		// Relabelling either side must not change any pair count.
+		relabel := make([]string, n)
+		for i, l := range a {
+			relabel[i] = "renamed-" + l
+		}
+		ren, err := eval.FMeasure(relabel, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ren != ab {
+			t.Fatalf("trial %d: relabelling changed the metric: %+v vs %+v", trial, ren, ab)
+		}
+	}
+	if _, err := eval.FMeasure([]string{"a"}, []string{"a", "b"}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+// TestPCAInvariants: the anomaly pipeline must not care how sessions are
+// ordered — permuting the input messages yields the identical count matrix
+// (rows are sorted by session ID), and permuting the matrix rows directly
+// yields the same flagged-session set, K and threshold.
+func TestPCAInvariants(t *testing.T) {
+	data, err := gen.GenerateHDFSSessions(gen.HDFSOptions{Seed: 7, Sessions: 300, AnomalyRate: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed := gen.TruthResult(data.Messages)
+	cm, err := anomaly.BuildMatrix(data.Messages, parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Message-order invariance: the matrix build sorts sessions.
+	shuffled, _ := permuted(data.Messages, 13)
+	permParsed := gen.TruthResult(shuffled)
+	cm2, err := anomaly.BuildMatrix(shuffled, permParsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cm.Sessions, cm2.Sessions) || !reflect.DeepEqual(cm.Events, cm2.Events) {
+		t.Fatal("count matrix labels changed under message permutation")
+	}
+	if !reflect.DeepEqual(cm.Y, cm2.Y) {
+		t.Fatal("count matrix changed under message permutation")
+	}
+
+	base, err := anomaly.DetectMatrix(cm, anomaly.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.NumFlagged() == 0 {
+		t.Fatal("detector flagged nothing; the invariant check would be vacuous")
+	}
+
+	// Row-permutation invariance of the detector itself.
+	rng := rand.New(rand.NewSource(17))
+	rowPerm := rng.Perm(len(cm.Sessions))
+	pcm := &anomaly.CountMatrix{
+		Sessions: make([]string, len(cm.Sessions)),
+		Events:   cm.Events,
+		Y:        permuteRows(cm.Y, rowPerm),
+	}
+	for j, orig := range rowPerm {
+		pcm.Sessions[j] = cm.Sessions[orig]
+	}
+	permRes, err := anomaly.DetectMatrix(pcm, anomaly.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if permRes.K != base.K {
+		t.Errorf("normal-space dimension changed under row permutation: %d vs %d", permRes.K, base.K)
+	}
+	if permRes.NumFlagged() != base.NumFlagged() {
+		t.Errorf("anomaly count changed under row permutation: %d vs %d", permRes.NumFlagged(), base.NumFlagged())
+	}
+	if !reflect.DeepEqual(flaggedSet(base), flaggedSet(permRes)) {
+		t.Error("flagged session set changed under row permutation")
+	}
+}
+
+func permuteRows(m *linalg.Matrix, perm []int) *linalg.Matrix {
+	out := linalg.NewMatrix(m.Rows, m.Cols)
+	for j, orig := range perm {
+		copy(out.Row(j), m.Row(orig))
+	}
+	return out
+}
+
+func flaggedSet(r *anomaly.Result) map[string]bool {
+	out := make(map[string]bool)
+	for i, f := range r.Flagged {
+		if f {
+			out[r.Sessions[i]] = true
+		}
+	}
+	return out
+}

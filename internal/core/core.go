@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -132,6 +133,47 @@ func (r *ParseResult) ClusterIDs() []string {
 		ids[i] = r.Templates[a].ID
 	}
 	return ids
+}
+
+// Canonical returns a copy of r in canonical form: templates sorted by
+// their rendered string (ties broken by original position), re-identified
+// as "T1".."Tn", with assignments remapped accordingly. Two parses that
+// extract the same template strings and cluster the messages identically
+// have byte-identical canonical forms regardless of the order or naming
+// their parser emitted — the form conformance digests and differential
+// comparisons are computed over.
+func (r *ParseResult) Canonical() *ParseResult {
+	order := make([]int, len(r.Templates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := r.Templates[order[a]].String(), r.Templates[order[b]].String()
+		if sa != sb {
+			return sa < sb
+		}
+		return order[a] < order[b]
+	})
+	remap := make([]int, len(r.Templates))
+	out := &ParseResult{
+		Templates:  make([]Template, len(r.Templates)),
+		Assignment: make([]int, len(r.Assignment)),
+	}
+	for rank, orig := range order {
+		remap[orig] = rank
+		out.Templates[rank] = Template{
+			ID:     fmt.Sprintf("T%d", rank+1),
+			Tokens: append([]string(nil), r.Templates[orig].Tokens...),
+		}
+	}
+	for i, a := range r.Assignment {
+		if a == OutlierID {
+			out.Assignment[i] = OutlierID
+			continue
+		}
+		out.Assignment[i] = remap[a]
+	}
+	return out
 }
 
 // Parser is implemented by every log-parsing algorithm in the toolkit.

@@ -153,3 +153,11 @@ func NewParser(algorithm string, opts Options) (Parser, error) {
 
 // Tokenize splits raw message content into the toolkit's canonical tokens.
 func Tokenize(content string) []string { return core.Tokenize(content) }
+
+// CanonicalResult returns a parse result in canonical form — templates
+// sorted by rendered string, re-identified as "T1".."Tn", assignments
+// remapped — so that results from different execution modes (serial,
+// sharded, robust-chain) of the same algorithm compare byte-identically
+// and conformance digests (see internal/conform and cmd/conformgen) are
+// stable. Shorthand for res.Canonical().
+func CanonicalResult(res *Result) *Result { return res.Canonical() }

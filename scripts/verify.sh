@@ -1,9 +1,28 @@
 #!/bin/sh
 # Tier-1 verification: build, vet, and race-checked tests for the whole
 # module. Run from the repository root.
+#
+# Modes:
+#
+#   scripts/verify.sh          full: build + vet + race tests + golden-digest
+#                              check + a 5s fuzz smoke pass per fuzz target
+#   scripts/verify.sh -short   fast: build + vet + `go test -short -race`
+#                              (skips the long-running suites and the fuzz
+#                              smokes; the conformance differential matrix
+#                              still runs at reduced breadth)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+short=0
+case "${1:-}" in
+-short | --short) short=1 ;;
+"") ;;
+*)
+	echo "usage: scripts/verify.sh [-short]" >&2
+	exit 2
+	;;
+esac
 
 echo "==> go build ./..."
 go build ./...
@@ -11,7 +30,26 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+if [ "$short" = 1 ]; then
+	echo "==> go test -short -race ./..."
+	go test -short -race ./...
+	echo "verify: OK (short)"
+	exit 0
+fi
+
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> golden-digest check (cmd/conformgen -check)"
+go run ./cmd/conformgen -check >/dev/null
+
+# Short fuzz smoke over every native fuzz target: replays the committed
+# corpora plus 5 seconds of fresh coverage-guided inputs each. A failure
+# writes the crasher to internal/conform/testdata/fuzz/<target>/.
+for target in FuzzTokenize FuzzReadMessages FuzzHeaderDetect \
+	FuzzParseSmallSLCT FuzzParseSmallIPLoM FuzzParseSmallLKE FuzzParseSmallLogSig; do
+	echo "==> go test -fuzz=$target -fuzztime=5s ./internal/conform"
+	go test ./internal/conform -run '^$' -fuzz "^${target}\$" -fuzztime=5s >/dev/null
+done
 
 echo "verify: OK"
