@@ -1,0 +1,241 @@
+// Command logstreamd runs the crash-safe streaming ingestion engine over a
+// log file or a generated dataset, checkpointing its state so a killed
+// process resumes where it durably left off.
+//
+// Tail a file with checkpoints every 5000 lines:
+//
+//	logstreamd -in app.log -checkpoint-dir /var/lib/logstream
+//
+// Replay a generated dataset and print the canonical digest (the quantity
+// the kill-and-recover tests compare):
+//
+//	logstreamd -dataset Zookeeper -lines 20000 -checkpoint-dir ck -digest
+//
+// Simulate a crash at an exact stream position, then resume:
+//
+//	logstreamd -dataset HDFS -lines 30000 -checkpoint-dir ck -kill-after-lines 12345
+//	logstreamd -dataset HDFS -lines 30000 -checkpoint-dir ck -digest
+//
+// The first invocation exits with code 3 (simulated crash, no final
+// checkpoint); the second restores the newest trustworthy checkpoint and
+// finishes the stream. SIGINT is a graceful shutdown: the engine stops and
+// writes a final checkpoint before exiting.
+//
+// Fault injection: -eof-after-lines truncates the source mid-stream (clean
+// EOF; the engine checkpoints and a later run completes the job) and
+// -torn-checkpoint-at N tears the Nth checkpoint save after
+// -torn-checkpoint-limit bytes, modelling data lost between write and fsync
+// — a resumed run detects the damage and falls back to the previous
+// checkpoint generation.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"logparse"
+	"logparse/internal/faultinject"
+	"logparse/internal/stream"
+)
+
+const crashExitCode = 3
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logstreamd:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
+	var (
+		in      = flag.String("in", "", "log file to ingest (annotated or raw lines)")
+		dataset = flag.String("dataset", "", "generate this dataset instead of reading -in (BGL, HPC, Proxifier, HDFS, Zookeeper)")
+		lines   = flag.Int("lines", 20000, "dataset size when -dataset is set")
+		seed    = flag.Int64("seed", 1, "dataset generation seed")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "checkpoint directory (required)")
+		ckptEvery = flag.Int("checkpoint-every", 5000, "checkpoint after this many processed lines (<0 disables periodic checkpoints)")
+		ring      = flag.Int("ring", 1024, "admission ring capacity (memory bound on in-flight lines)")
+		policy    = flag.String("policy", "backpressure", "admission policy when the ring is full: backpressure or shed")
+
+		retrainBatch = flag.Int("retrain-batch", 256, "unmatched lines buffered before retraining")
+		maxUnmatched = flag.Int("max-unmatched", 0, "unmatched-buffer cap (default 4x retrain batch)")
+		primary      = flag.String("retrainer", "", "primary retrain algorithm ahead of the SLCT-stream tier (SLCT, IPLoM, LKE, LogSig; empty = SLCT-stream only)")
+		support      = flag.Int("support", 0, "SLCT support threshold for retraining (0 = fractional default)")
+
+		killAfter = flag.Int64("kill-after-lines", 0, "simulate a crash (exit 3, no checkpoint) after processing this source line")
+		eofAfter  = flag.Int("eof-after-lines", 0, "inject a premature clean EOF after this many source lines")
+		tornAt    = flag.Int("torn-checkpoint-at", 0, "tear the Nth checkpoint save (fault injection; 0 = never)")
+		tornLimit = flag.Int64("torn-checkpoint-limit", 50, "bytes that survive the torn checkpoint save")
+
+		digest    = flag.Bool("digest", false, "print the canonical digest of the final template set and counts")
+		showStats = flag.Bool("stats", true, "print the stats summary on exit")
+	)
+	flag.Parse()
+
+	if *ckptDir == "" {
+		return 2, errors.New("-checkpoint-dir is required")
+	}
+	if (*in == "") == (*dataset == "") {
+		return 2, errors.New("exactly one of -in or -dataset is required")
+	}
+
+	open, err := buildSource(*in, *dataset, *lines, *seed, *eofAfter)
+	if err != nil {
+		return 2, err
+	}
+
+	var pol stream.AdmissionPolicy
+	switch *policy {
+	case "backpressure":
+		pol = stream.Backpressure
+	case "shed":
+		pol = stream.LoadShed
+	default:
+		return 2, fmt.Errorf("unknown -policy %q (want backpressure or shed)", *policy)
+	}
+
+	retrainer, err := logparse.NewStreamRetrainer(*primary,
+		logparse.Options{Support: *support, SupportFrac: 0.005, NumGroups: 40, Seed: *seed},
+		logparse.RobustPolicy{})
+	if err != nil {
+		return 2, err
+	}
+
+	cfg := stream.Config{
+		Open:            open,
+		CheckpointDir:   *ckptDir,
+		RingCapacity:    *ring,
+		Policy:          pol,
+		CheckpointEvery: *ckptEvery,
+		RetrainBatch:    *retrainBatch,
+		MaxUnmatched:    *maxUnmatched,
+		Retrainer:       retrainer,
+	}
+	if *tornAt > 0 {
+		saves := 0
+		cfg.CheckpointWrap = func(w io.Writer) io.Writer {
+			saves++
+			if saves == *tornAt {
+				return faultinject.NewTornWriter(w, *tornLimit)
+			}
+			return w
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	crashed := false
+	if *killAfter > 0 {
+		cfg.AfterLine = func(lineNo int64) {
+			if lineNo == *killAfter {
+				crashed = true
+				cancel()
+			}
+		}
+	}
+
+	eng, err := stream.New(cfg)
+	if err != nil {
+		return 1, err
+	}
+	if from := eng.Stats().RecoveredFrom; from != "" {
+		fmt.Fprintf(os.Stderr, "logstreamd: restored %s checkpoint generation (offset %d)\n",
+			from, eng.Stats().Offset)
+	}
+
+	// SIGINT/SIGTERM stop the run; unlike a simulated crash, the state is
+	// then checkpointed before exit.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	interrupted := false
+	go func() {
+		if _, ok := <-sigCh; ok {
+			interrupted = true
+			cancel()
+		}
+	}()
+
+	runErr := eng.Run(ctx)
+	switch {
+	case runErr == nil:
+		// Clean end of source; final checkpoint already written.
+	case errors.Is(runErr, context.Canceled) && crashed:
+		fmt.Fprintf(os.Stderr, "logstreamd: simulated crash after line %d (no checkpoint)\n", *killAfter)
+		return crashExitCode, nil
+	case errors.Is(runErr, context.Canceled) && interrupted:
+		if err := eng.Checkpoint(); err != nil {
+			return 1, fmt.Errorf("interrupted; final checkpoint failed: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "logstreamd: interrupted; state checkpointed at offset %d\n", eng.Stats().Offset)
+	default:
+		return 1, runErr
+	}
+
+	if *showStats {
+		printStats(os.Stderr, eng.Stats())
+	}
+	if *digest {
+		fmt.Println(eng.Digest())
+	}
+	return 0, nil
+}
+
+// buildSource returns a re-openable reader over the input file or an
+// in-memory generated dataset, optionally wrapped with a premature-EOF
+// fault.
+func buildSource(in, dataset string, lines int, seed int64, eofAfter int) (func() (io.ReadCloser, error), error) {
+	var open func() (io.ReadCloser, error)
+	if in != "" {
+		open = func() (io.ReadCloser, error) { return os.Open(in) }
+	} else {
+		cat, err := logparse.Dataset(dataset)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := logparse.WriteMessages(&buf, cat.Generate(seed, lines)); err != nil {
+			return nil, err
+		}
+		data := buf.Bytes()
+		open = func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(data)), nil
+		}
+	}
+	if eofAfter > 0 {
+		inner := open
+		open = func() (io.ReadCloser, error) {
+			rc, err := inner()
+			if err != nil {
+				return nil, err
+			}
+			return struct {
+				io.Reader
+				io.Closer
+			}{faultinject.NewReader(rc, faultinject.Faults{EOFAfterLines: eofAfter}), rc}, nil
+		}
+	}
+	return open, nil
+}
+
+func printStats(w io.Writer, s stream.Stats) {
+	fmt.Fprintf(w, "lines-in=%d processed=%d matched=%d unparsed=%d empty=%d shed=%d oversized=%d\n",
+		s.LinesIn, s.Processed, s.Matched, s.Unparsed, s.Empty, s.Shed, s.Oversized)
+	fmt.Fprintf(w, "templates=%d retrains=%d retrain-failures=%d breaker=%s unmatched-buffered=%d unmatched-dropped=%d\n",
+		s.Templates, s.Retrains, s.RetrainFailures, s.Breaker, s.UnmatchedBuffered, s.UnmatchedDropped)
+	fmt.Fprintf(w, "offset=%d checkpoints=%d checkpoint-errors=%d ring-high-water=%d recovered-from=%q\n",
+		s.Offset, s.Checkpoints, s.CheckpointErrors, s.RingHighWater, s.RecoveredFrom)
+}

@@ -127,7 +127,7 @@ func ReadMessagesOpts(r io.Reader, opts ReadOptions) ([]LogMessage, ReadStats, e
 		if opts.MaxLines > 0 && len(msgs) >= opts.MaxLines {
 			break
 		}
-		raw, oversized, rerr := readLine(br, opts.MaxLineBytes)
+		raw, oversized, rerr := ReadLine(br, opts.MaxLineBytes)
 		if rerr != nil && !errors.Is(rerr, io.EOF) {
 			return nil, stats, fmt.Errorf("core: read messages: %w", rerr)
 		}
@@ -224,14 +224,30 @@ func validAnnotationField(f string) bool {
 	return len(f) <= maxAnnotationField && !strings.ContainsAny(f, " ")
 }
 
-// readLine reads one newline-terminated line of at most max content bytes,
+// ContentOf extracts the message content of one line under the FormatAuto
+// rule: a line splitting into three tab-separated fields whose first two
+// look like an annotation yields its third field; any other line is pure
+// content. It is the line-at-a-time counterpart of ReadMessagesOpts used by
+// streaming consumers (slct.ParseStream, the ingestion engine) that never
+// materialise a LogMessage.
+func ContentOf(line string) string {
+	parts := strings.SplitN(line, "\t", 3)
+	if len(parts) == 3 && validAnnotationField(parts[0]) && validAnnotationField(parts[1]) {
+		return parts[2]
+	}
+	return line
+}
+
+// ReadLine reads one newline-terminated line of at most max content bytes,
 // accumulating across internal buffer refills. When the line is longer, the
 // first max bytes are returned with oversized=true and the remainder is
 // discarded up to the newline — the reader stays positioned at the next
 // line, unlike bufio.Scanner which aborts the whole stream with ErrTooLong.
 // The returned error is io.EOF exactly at end of input (possibly alongside
-// a final unterminated line).
-func readLine(br *bufio.Reader, max int) (line []byte, oversized bool, err error) {
+// a final unterminated line). It is shared between ReadMessagesOpts and the
+// streaming ingestion engine, which must tolerate the same line pathologies
+// without materialising the whole input.
+func ReadLine(br *bufio.Reader, max int) (line []byte, oversized bool, err error) {
 	total := 0
 	for {
 		frag, ferr := br.ReadSlice('\n')

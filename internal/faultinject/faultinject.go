@@ -51,6 +51,10 @@ type Faults struct {
 	// have been served — a mid-stream EOF as produced by a rotated or
 	// truncated file (0 = never).
 	EOFAfterBytes int64
+	// EOFAfterLines ends the stream cleanly (io.EOF) after this many whole
+	// lines have been served — the line-aligned mid-stream EOF a log
+	// follower sees when its file is rotated between lines (0 = never).
+	EOFAfterLines int
 	// TruncateEvery truncates every n-th line to TruncateToBytes bytes.
 	TruncateEvery   int
 	TruncateToBytes int
@@ -116,6 +120,10 @@ func (c *Reader) Read(p []byte) (int, error) {
 // fill reads the next inner line, applies line-level faults, and queues the
 // result.
 func (c *Reader) fill() {
+	if c.faults.EOFAfterLines > 0 && c.lineNo >= c.faults.EOFAfterLines {
+		c.inErr = io.EOF
+		return
+	}
 	line, err := c.br.ReadBytes('\n')
 	if len(line) > 0 {
 		c.lineNo++

@@ -1,0 +1,44 @@
+package faultinject
+
+import "io"
+
+// TornWriter models the write-side crash the checkpoint layer must survive:
+// a process (or kernel) dying between write(2) and fsync leaves the file
+// holding an arbitrary prefix of the intended bytes, while the writer that
+// issued the writes observed nothing wrong. TornWriter passes the first
+// Limit bytes through and silently discards the rest, reporting full
+// success — so a checkpoint Save completes its rename and the corruption is
+// only discoverable at load time, exactly like the real failure.
+//
+// A limit ≤ 0 discards everything (the file exists but is empty).
+type TornWriter struct {
+	w       io.Writer
+	limit   int64
+	offered int64 // total bytes presented for writing
+}
+
+// NewTornWriter wraps w, tearing the stream after limit bytes.
+func NewTornWriter(w io.Writer, limit int64) *TornWriter {
+	return &TornWriter{w: w, limit: limit}
+}
+
+// Write implements io.Writer. It never reports an error of its own: the
+// point of a torn write is that the writer does not notice.
+func (t *TornWriter) Write(p []byte) (int, error) {
+	keep := int64(len(p))
+	if room := t.limit - t.offered; room <= 0 {
+		keep = 0
+	} else if keep > room {
+		keep = room
+	}
+	t.offered += int64(len(p))
+	if keep > 0 {
+		if n, err := t.w.Write(p[:keep]); err != nil {
+			return n, err
+		}
+	}
+	return len(p), nil
+}
+
+// Torn reports whether any bytes have been discarded so far.
+func (t *TornWriter) Torn() bool { return t.offered > t.limit }

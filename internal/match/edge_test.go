@@ -1,0 +1,145 @@
+package match
+
+import (
+	"errors"
+	"testing"
+
+	"logparse/internal/core"
+)
+
+// Edge cases of the online matcher: inputs a production ingest path will
+// eventually see (empty lines, lengths no template covers) and the
+// tie-break between overlapping templates, which downstream event counting
+// depends on being deterministic. (tmpl is shared with match_test.go.)
+
+func TestMatchEmptyTokenLine(t *testing.T) {
+	m, err := New([]core.Template{tmpl("T1", "a", "*")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Match(nil); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("Match(nil) err = %v, want ErrNoMatch", err)
+	}
+	if _, err := m.Match([]string{}); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("Match(empty) err = %v, want ErrNoMatch", err)
+	}
+	if _, err := m.MatchContent("   "); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("MatchContent(blank) err = %v, want ErrNoMatch", err)
+	}
+}
+
+func TestMatchZeroLengthTemplate(t *testing.T) {
+	// A zero-token template is degenerate but constructible; it must match
+	// exactly the zero-token message and nothing else.
+	m, err := New([]core.Template{tmpl("T0"), tmpl("T1", "a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Match(nil)
+	if err != nil {
+		t.Fatalf("Match(nil) err = %v, want the zero-length template", err)
+	}
+	if got.ID != "T0" {
+		t.Fatalf("Match(nil) = %s, want T0", got.ID)
+	}
+	if _, err := m.Match([]string{"b"}); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("one-token miss err = %v, want ErrNoMatch", err)
+	}
+}
+
+func TestMatchLengthOutsideEveryTemplate(t *testing.T) {
+	m, err := New([]core.Template{
+		tmpl("T2", "a", "*"),
+		tmpl("T3", "a", "*", "c"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shorter than every template.
+	if _, err := m.Match([]string{"a"}); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("shorter-than-all err = %v, want ErrNoMatch", err)
+	}
+	// Longer than every template.
+	if _, err := m.Match([]string{"a", "b", "c", "d"}); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("longer-than-all err = %v, want ErrNoMatch", err)
+	}
+	// A covered length but mismatching constants.
+	if _, err := m.Match([]string{"x", "y"}); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("constant mismatch err = %v, want ErrNoMatch", err)
+	}
+}
+
+// TestMatchOverlapTieBreak documents the deterministic tie-break between
+// overlapping templates when wildcard and literal edges both lead to a
+// match. The walk prefers the exact-token edge at the EARLIEST position and
+// only backtracks to a wildcard when the exact branch dead-ends: for
+// message "a b c" under templates "a * c" and "a b *", the exact token "b"
+// at position 1 wins, so "a b *" is chosen even though "a * c" also
+// matches. The matched template is a pure function of the token sequence —
+// re-matching after a crash recovery reproduces identical event counts.
+func TestMatchOverlapTieBreak(t *testing.T) {
+	starC := tmpl("starMid", "a", "*", "c")
+	bStar := tmpl("literalB", "a", "b", "*")
+	msg := []string{"a", "b", "c"}
+
+	// Both templates individually cover the message.
+	if !starC.Matches(msg) || !bStar.Matches(msg) {
+		t.Fatal("test setup: both templates must cover the message")
+	}
+
+	// The tie-break must not depend on template insertion order.
+	for _, order := range [][]core.Template{{starC, bStar}, {bStar, starC}} {
+		m, err := New(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Match(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != "literalB" {
+			t.Fatalf("overlap resolved to %s, want literalB (earliest exact token wins)", got.ID)
+		}
+	}
+}
+
+// TestMatchBacktrackAcrossBranches pins the complementary case: when the
+// exact branch dead-ends later, the wildcard branch must still win over no
+// match at all.
+func TestMatchBacktrackAcrossBranches(t *testing.T) {
+	m, err := New([]core.Template{
+		tmpl("deadEnd", "a", "b", "x"),
+		tmpl("viaStar", "a", "*", "c"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Match([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "viaStar" {
+		t.Fatalf("got %s, want viaStar via backtracking", got.ID)
+	}
+}
+
+func TestTemplatesAccessorIsACopy(t *testing.T) {
+	orig := []core.Template{tmpl("T1", "a", "*")}
+	m, err := New(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := m.Templates()
+	if len(ts) != 1 || ts[0].ID != "T1" || len(ts[0].Tokens) != 2 {
+		t.Fatalf("Templates() = %+v", ts)
+	}
+	ts[0].Tokens[0] = "mutated"
+	ts2 := m.Templates()
+	if ts2[0].Tokens[0] != "a" {
+		t.Fatal("Templates() exposed internal state: mutation leaked")
+	}
+	// The matcher itself must be unaffected.
+	if _, err := m.Match([]string{"a", "z"}); err != nil {
+		t.Fatalf("matcher corrupted by accessor mutation: %v", err)
+	}
+}

@@ -75,6 +75,17 @@ func FromResult(res *core.ParseResult) (*Matcher, error) { return New(res.Templa
 // NumTemplates reports the size of the template set.
 func (m *Matcher) NumTemplates() int { return len(m.templates) }
 
+// Templates returns a copy of the matcher's template set in build order.
+// Long-running services checkpoint this to rebuild an equivalent matcher
+// after a restart.
+func (m *Matcher) Templates() []core.Template {
+	out := make([]core.Template, len(m.templates))
+	for i, t := range m.templates {
+		out[i] = core.Template{ID: t.ID, Tokens: append([]string(nil), t.Tokens...)}
+	}
+	return out
+}
+
 // Match returns the template covering the token sequence. Exact-token edges
 // are preferred over wildcard edges (a message matching both "a b" and
 // "a *" maps to "a b"), matching the intuition that constants carry the

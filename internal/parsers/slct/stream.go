@@ -2,6 +2,8 @@ package slct
 
 import (
 	"bufio"
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -173,7 +175,8 @@ func (p *Parser) ParseStream(open func() (io.ReadCloser, error), opts StreamOpti
 }
 
 // scanLines streams tokenised message content to fn. Annotated dataset
-// lines ("truth<TAB>session<TAB>content") contribute only their content.
+// lines ("truth<TAB>session<TAB>content") contribute only their content,
+// under the same FormatAuto rule ReadMessagesOpts applies.
 func scanLines(open func() (io.ReadCloser, error), fn func(tokens []string)) error {
 	r, err := open()
 	if err != nil {
@@ -187,12 +190,66 @@ func scanLines(open func() (io.ReadCloser, error), fn func(tokens []string)) err
 		if line == "" {
 			continue
 		}
-		if parts := strings.SplitN(line, "\t", 3); len(parts) == 3 {
-			line = parts[2]
-		}
-		fn(core.Tokenize(line))
+		fn(core.Tokenize(core.ContentOf(line)))
 	}
 	return sc.Err()
+}
+
+// StreamParser adapts ParseStream to the core.Parser interface for bounded
+// in-memory batches: the messages are serialised to the annotated line
+// format and fed through the two-pass streaming parse. It exists so a
+// degradation chain can reuse the streaming implementation — the cheapest,
+// most predictable tier in the toolkit — as its retrain fallback.
+type StreamParser struct {
+	p    *Parser
+	opts StreamOptions
+}
+
+var _ core.Parser = (*StreamParser)(nil)
+
+// NewStreamParser builds the adapter.
+func NewStreamParser(opts StreamOptions) *StreamParser {
+	return &StreamParser{p: New(opts.Options), opts: opts}
+}
+
+// Name implements core.Parser.
+func (s *StreamParser) Name() string { return "SLCT-stream" }
+
+// Parse implements core.Parser.
+func (s *StreamParser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
+	return s.ParseCtx(context.Background(), msgs)
+}
+
+// ParseCtx implements core.Parser. The passes themselves are near-linear
+// and bounded by the batch size, so a context check per pass boundary (via
+// the serialised re-open) keeps cancellation latency low enough.
+func (s *StreamParser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.ParseResult, error) {
+	if len(msgs) == 0 {
+		return nil, core.ErrNoMessages
+	}
+	var buf bytes.Buffer
+	if err := core.WriteMessages(&buf, msgs); err != nil {
+		return nil, err
+	}
+	data := buf.Bytes()
+	open := func() (io.ReadCloser, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return io.NopCloser(bytes.NewReader(data)), nil
+	}
+	sr, err := s.p.ParseStream(open, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &core.ParseResult{
+		Templates:  sr.Templates,
+		Assignment: make([]int, len(sr.Assignment)),
+	}
+	for i, a := range sr.Assignment {
+		res.Assignment[i] = int(a)
+	}
+	return res, nil
 }
 
 // pairKey serialises a posWord for the lossy counter.

@@ -1,0 +1,43 @@
+package robust
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// lockedRand is a mutex-guarded rand.Rand. rand.Rand itself is not safe for
+// concurrent use, and both the degradation chain and the generic Retry
+// helper can be driven from many goroutines at once (the parallel shard
+// harness retries tiers concurrently), so every jitter source in this
+// package goes through this wrapper.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0,1), safely under concurrency.
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}
+
+// backoffDelay computes the jittered exponential delay before retry number
+// try+1 under pol: BackoffBase·2^try capped at BackoffMax, perturbed
+// uniformly in ±JitterFrac. It is the single backoff implementation shared
+// by Parser.ParseAttributed and Retry.
+func backoffDelay(pol Policy, try int, rng *lockedRand) time.Duration {
+	d := pol.BackoffBase << uint(try)
+	if d > pol.BackoffMax || d <= 0 { // <=0 guards shift overflow
+		d = pol.BackoffMax
+	}
+	if pol.JitterFrac > 0 {
+		d = time.Duration(float64(d) * (1 + pol.JitterFrac*(2*rng.Float64()-1)))
+	}
+	return d
+}

@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math/rand"
-	"time"
 
 	"logparse/internal/core"
 )
@@ -13,10 +11,12 @@ import (
 // Retry runs op until it succeeds, fails non-transiently, exhausts
 // pol.MaxRetries, or ctx ends. It is the generic retry-with-backoff used for
 // transient source failures (flaky readers, remote log stores); parse-side
-// retries are handled inside Parser.ParseAttributed.
+// retries are handled inside Parser.ParseAttributed. The jitter RNG is
+// created per call (and mutex-guarded besides), so concurrent Retry calls —
+// even sharing a Policy — never race.
 func Retry(ctx context.Context, pol Policy, op func(context.Context) error) error {
 	pol = pol.withDefaults()
-	rng := rand.New(rand.NewSource(pol.Seed))
+	rng := newLockedRand(pol.Seed)
 	var err error
 	for try := 0; ; try++ {
 		if cerr := ctx.Err(); cerr != nil {
@@ -28,14 +28,7 @@ func Retry(ctx context.Context, pol Policy, op func(context.Context) error) erro
 		if try >= pol.MaxRetries || !IsTransient(err) {
 			return err
 		}
-		d := pol.BackoffBase << uint(try)
-		if d > pol.BackoffMax || d <= 0 {
-			d = pol.BackoffMax
-		}
-		if pol.JitterFrac > 0 {
-			d = time.Duration(float64(d) * (1 + pol.JitterFrac*(2*rng.Float64()-1)))
-		}
-		if serr := sleepCtx(ctx, d); serr != nil {
+		if serr := sleepCtx(ctx, backoffDelay(pol, try, rng)); serr != nil {
 			return fmt.Errorf("%w (last attempt: %w)", serr, err)
 		}
 	}

@@ -25,10 +25,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime/debug"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -106,9 +104,7 @@ type Stats struct {
 type Parser struct {
 	tiers []Tier
 	pol   Policy
-
-	mu  sync.Mutex // guards rng
-	rng *rand.Rand
+	rng   *lockedRand
 
 	served    []atomic.Uint64
 	panics    atomic.Uint64
@@ -138,7 +134,7 @@ func New(pol Policy, tiers ...Tier) (*Parser, error) {
 	return &Parser{
 		tiers:  ts,
 		pol:    pol,
-		rng:    rand.New(rand.NewSource(pol.Seed)),
+		rng:    newLockedRand(pol.Seed),
 		served: make([]atomic.Uint64, len(ts)),
 	}, nil
 }
@@ -304,17 +300,7 @@ func SafeParseCtx(ctx context.Context, parser core.Parser, msgs []core.LogMessag
 
 // backoff computes the jittered delay before retry number try+1.
 func (p *Parser) backoff(try int) time.Duration {
-	d := p.pol.BackoffBase << uint(try)
-	if d > p.pol.BackoffMax || d <= 0 { // <=0 guards shift overflow
-		d = p.pol.BackoffMax
-	}
-	if p.pol.JitterFrac > 0 {
-		p.mu.Lock()
-		f := 1 + p.pol.JitterFrac*(2*p.rng.Float64()-1)
-		p.mu.Unlock()
-		d = time.Duration(float64(d) * f)
-	}
-	return d
+	return backoffDelay(p.pol, try, p.rng)
 }
 
 // sleepCtx sleeps for d unless ctx ends first.

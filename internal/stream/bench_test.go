@@ -1,0 +1,49 @@
+package stream
+
+import (
+	"context"
+	"testing"
+)
+
+// benchIngest drives one full engine run over n synthetic lines and reports
+// lines/sec. checkpointEvery < 0 disables periodic checkpoints, isolating
+// matching throughput from checkpoint overhead.
+func benchIngest(b *testing.B, n, checkpointEvery int) {
+	lines := synthLines(n, 99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		e, err := New(Config{
+			Open:            memOpen(lines),
+			CheckpointDir:   dir,
+			RingCapacity:    1024,
+			CheckpointEvery: checkpointEvery,
+			RetrainBatch:    64,
+			Retrainer:       &groupMiner{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(n*b.N)/elapsed, "lines/sec")
+	}
+}
+
+// BenchmarkStreamIngest measures end-to-end ingestion throughput: matching,
+// retraining and the final checkpoint, with and without the periodic
+// checkpoint cadence. Comparing the two isolates checkpoint overhead.
+func BenchmarkStreamIngest(b *testing.B) {
+	const n = 20000
+	b.Run("checkpoint-every-5000", func(b *testing.B) { benchIngest(b, n, 5000) })
+	b.Run("checkpoint-every-500", func(b *testing.B) { benchIngest(b, n, 500) })
+	b.Run("no-periodic-checkpoint", func(b *testing.B) { benchIngest(b, n, -1) })
+}

@@ -1,0 +1,122 @@
+package stream
+
+import "time"
+
+// BreakerConfig configures the retrain circuit breaker. Zero values mean
+// the documented defaults.
+type BreakerConfig struct {
+	// Threshold is how many consecutive retrain failures open the breaker
+	// (default 3).
+	Threshold int
+	// Cooldown is the initial open duration before a half-open probe
+	// (default 30s). Each failed probe doubles it.
+	Cooldown time.Duration
+	// MaxCooldown caps the doubling schedule (default 16×Cooldown).
+	MaxCooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = 16 * c.Cooldown
+	}
+	return c
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is the engine's retrain circuit breaker. While open, the engine
+// serves in the matcher-only tier: known templates keep matching, the
+// unmatched buffer is capped by shedding its oldest lines, and no retrain
+// is attempted until the cooldown elapses and a half-open probe is allowed.
+// A successful probe closes the breaker; a failed one reopens it with a
+// doubled cooldown (capped at MaxCooldown).
+//
+// The breaker is driven from the engine's single consumer goroutine under
+// the engine mutex, so it needs no locking of its own.
+type breaker struct {
+	cfg         BreakerConfig
+	state       int
+	consecutive int
+	openedAt    time.Time
+	cooldown    time.Duration
+}
+
+// newBreaker builds a breaker, optionally restoring checkpointed state: a
+// breaker that was open at checkpoint time resumes open with a fresh
+// initial cooldown (conservative — the failing tier probably still fails).
+func newBreaker(cfg BreakerConfig, restoredFailures int, restoredOpen bool, now time.Time) *breaker {
+	cfg = cfg.withDefaults()
+	b := &breaker{cfg: cfg, consecutive: restoredFailures, cooldown: cfg.Cooldown}
+	if restoredOpen {
+		b.state = breakerOpen
+		b.openedAt = now
+	}
+	return b
+}
+
+// allow reports whether a retrain attempt may proceed now, transitioning
+// open → half-open when the cooldown has elapsed.
+func (b *breaker) allow(now time.Time) bool {
+	switch b.state {
+	case breakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // closed or half-open (probe in flight)
+		return true
+	}
+}
+
+// success records a successful retrain: the breaker closes and the
+// cooldown schedule resets.
+func (b *breaker) success() {
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.cooldown = b.cfg.Cooldown
+}
+
+// failure records a failed retrain.
+func (b *breaker) failure(now time.Time) {
+	b.consecutive++
+	if b.state == breakerHalfOpen {
+		// Failed probe: back off harder.
+		b.cooldown *= 2
+		if b.cooldown > b.cfg.MaxCooldown {
+			b.cooldown = b.cfg.MaxCooldown
+		}
+		b.state = breakerOpen
+		b.openedAt = now
+		return
+	}
+	if b.consecutive >= b.cfg.Threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+	}
+}
+
+// open reports whether the breaker currently refuses retrains.
+func (b *breaker) isOpen() bool { return b.state != breakerClosed }
+
+// stateName renders the state for stats.
+func (b *breaker) stateName() string {
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

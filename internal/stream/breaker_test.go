@@ -1,0 +1,89 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThresholdAndHalfOpensAfterCooldown(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(BreakerConfig{Threshold: 3, Cooldown: 10 * time.Second}, 0, false, now)
+
+	for i := 0; i < 2; i++ {
+		if !b.allow(now) {
+			t.Fatalf("breaker refused attempt %d while closed", i)
+		}
+		b.failure(now)
+	}
+	if b.isOpen() {
+		t.Fatal("breaker open below threshold")
+	}
+	b.allow(now)
+	b.failure(now) // third consecutive failure
+	if !b.isOpen() || b.stateName() != "open" {
+		t.Fatalf("breaker state = %s, want open", b.stateName())
+	}
+	if b.allow(now.Add(9 * time.Second)) {
+		t.Fatal("breaker allowed a retrain before the cooldown elapsed")
+	}
+	if !b.allow(now.Add(10 * time.Second)) {
+		t.Fatal("breaker refused the half-open probe after the cooldown")
+	}
+	if b.stateName() != "half-open" {
+		t.Fatalf("state = %s, want half-open", b.stateName())
+	}
+}
+
+func TestBreakerFailedProbeDoublesCooldownUpToCap(t *testing.T) {
+	now := time.Unix(1000, 0)
+	cfg := BreakerConfig{Threshold: 1, Cooldown: 10 * time.Second, MaxCooldown: 25 * time.Second}
+	b := newBreaker(cfg, 0, false, now)
+
+	b.allow(now)
+	b.failure(now) // opens, cooldown 10s
+	wantCooldowns := []time.Duration{20 * time.Second, 25 * time.Second, 25 * time.Second}
+	for _, want := range wantCooldowns {
+		now = now.Add(b.cooldown)
+		if !b.allow(now) {
+			t.Fatalf("probe refused after full cooldown")
+		}
+		b.failure(now)
+		if b.cooldown != want {
+			t.Fatalf("cooldown after failed probe = %v, want %v", b.cooldown, want)
+		}
+	}
+}
+
+func TestBreakerSuccessfulProbeClosesAndResets(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(BreakerConfig{Threshold: 1, Cooldown: 10 * time.Second}, 0, false, now)
+	b.allow(now)
+	b.failure(now)
+	now = now.Add(10 * time.Second)
+	b.allow(now) // half-open
+	b.success()
+	if b.isOpen() || b.consecutive != 0 || b.cooldown != 10*time.Second {
+		t.Fatalf("after successful probe: open=%v consecutive=%d cooldown=%v", b.isOpen(), b.consecutive, b.cooldown)
+	}
+}
+
+func TestBreakerRestoredOpenResumesOpen(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(BreakerConfig{Threshold: 3, Cooldown: 10 * time.Second}, 5, true, now)
+	if !b.isOpen() {
+		t.Fatal("restored-open breaker should start open")
+	}
+	if b.allow(now.Add(5 * time.Second)) {
+		t.Fatal("restored-open breaker allowed a retrain before its fresh cooldown elapsed")
+	}
+	if !b.allow(now.Add(10 * time.Second)) {
+		t.Fatal("restored-open breaker refused the probe after the cooldown")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	cfg := BreakerConfig{}.withDefaults()
+	if cfg.Threshold != 3 || cfg.Cooldown != 30*time.Second || cfg.MaxCooldown != 16*cfg.Cooldown {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

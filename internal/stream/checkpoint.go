@@ -1,0 +1,257 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Checkpoint file layout (version 1):
+//
+//	logstream-checkpoint v1\n
+//	sha256 <hex digest of the payload bytes>\n
+//	<JSON payload>
+//
+// Save writes to a temp file in the same directory, syncs, rotates the
+// current generation to .prev, and renames the temp file into place — so a
+// crash at any instant leaves at least one loadable generation on disk.
+// The SHA-256 header catches the failure rename alone cannot: a torn write
+// that reported success (data lost between write and fsync). Load verifies
+// the digest and falls back from current to previous automatically.
+
+const (
+	checkpointMagic = "logstream-checkpoint v1"
+	currentName     = "checkpoint.ckpt"
+	prevName        = "checkpoint.ckpt.prev"
+	tmpName         = "checkpoint.ckpt.tmp"
+)
+
+// SavedTemplate is one template with its cumulative event count.
+type SavedTemplate struct {
+	ID     string   `json:"id"`
+	Tokens []string `json:"tokens"`
+	Count  int64    `json:"count"`
+}
+
+// Counters are the engine's cumulative counters; they travel with the
+// checkpoint so a resumed run continues the same totals.
+type Counters struct {
+	Processed        int64 `json:"processed"`
+	Matched          int64 `json:"matched"`
+	Shed             int64 `json:"shed"`
+	Empty            int64 `json:"empty"`
+	Oversized        int64 `json:"oversized"`
+	Unparsed         int64 `json:"unparsed"`
+	UnmatchedDropped int64 `json:"unmatched_dropped"`
+	Retrains         int64 `json:"retrains"`
+	RetrainFailures  int64 `json:"retrain_failures"`
+}
+
+// State is everything an Engine needs to resume: where it was in the
+// stream, what it knows, and what it had not yet explained.
+type State struct {
+	// Offset is the source line number (1-based, empty lines excluded) of
+	// the last processed line; resume skips this many lines.
+	Offset int64 `json:"offset"`
+	// Templates is the template set with per-template event counts.
+	Templates []SavedTemplate `json:"templates"`
+	// Unmatched is the buffered unmatched-line backlog.
+	Unmatched []string `json:"unmatched"`
+	// Counters are the cumulative stats as of Offset.
+	Counters Counters `json:"counters"`
+	// BreakerFailures and BreakerOpen persist the retrain breaker across
+	// restarts (an open breaker resumes open with a fresh cooldown).
+	BreakerFailures int  `json:"breaker_failures"`
+	BreakerOpen     bool `json:"breaker_open"`
+}
+
+// CorruptError reports a checkpoint file that exists but cannot be trusted.
+type CorruptError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("stream: corrupt checkpoint %s: %s", e.Path, e.Reason)
+}
+
+// LoadInfo reports where Load found usable state.
+type LoadInfo struct {
+	// Source is "none", "current" or "previous".
+	Source string
+	// CorruptCurrent is the error that disqualified the current
+	// generation when Source is "previous" because of corruption (nil
+	// when current was simply missing).
+	CorruptCurrent error
+}
+
+// Store persists checkpoint generations in one directory.
+type Store struct {
+	dir string
+	// wrap intercepts the payload writer; the fault-injection seam for
+	// torn-write testing.
+	wrap func(io.Writer) io.Writer
+}
+
+// NewStore opens (creating if needed) a checkpoint directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("stream: checkpoint directory is required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stream: checkpoint dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+func (s *Store) path(name string) string { return filepath.Join(s.dir, name) }
+
+// Save atomically persists st as the current generation, rotating the old
+// current to previous.
+func (s *Store) Save(st *State) error {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("stream: encode checkpoint: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+
+	tmp := s.path(tmpName)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("stream: write checkpoint: %w", err)
+	}
+	var w io.Writer = f
+	if s.wrap != nil {
+		w = s.wrap(f)
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString(checkpointMagic)
+	bw.WriteByte('\n')
+	bw.WriteString("sha256 " + hex.EncodeToString(sum[:]))
+	bw.WriteByte('\n')
+	bw.Write(payload)
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("stream: write checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("stream: sync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("stream: close checkpoint: %w", err)
+	}
+
+	cur := s.path(currentName)
+	if _, err := os.Stat(cur); err == nil {
+		if err := os.Rename(cur, s.path(prevName)); err != nil {
+			return fmt.Errorf("stream: rotate checkpoint: %w", err)
+		}
+	}
+	if err := os.Rename(tmp, cur); err != nil {
+		return fmt.Errorf("stream: publish checkpoint: %w", err)
+	}
+	s.syncDir()
+	return nil
+}
+
+// syncDir best-effort fsyncs the directory so the renames are durable.
+func (s *Store) syncDir() {
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Load returns the newest trustworthy state: the current generation, or —
+// when current is missing or corrupt — the previous one. (nil, info, nil)
+// with Source "none" means a fresh start; an error means every existing
+// generation is corrupt, which deserves an operator's attention rather
+// than a silent restart from zero.
+func (s *Store) Load() (*State, LoadInfo, error) {
+	cur, prev := s.path(currentName), s.path(prevName)
+	st, errCur := loadFile(cur)
+	if errCur == nil {
+		return st, LoadInfo{Source: "current"}, nil
+	}
+	info := LoadInfo{}
+	if !os.IsNotExist(errCur) {
+		info.CorruptCurrent = errCur
+	}
+	st, errPrev := loadFile(prev)
+	if errPrev == nil {
+		info.Source = "previous"
+		return st, info, nil
+	}
+	if os.IsNotExist(errCur) && os.IsNotExist(errPrev) {
+		info.Source = "none"
+		return nil, info, nil
+	}
+	if os.IsNotExist(errPrev) {
+		return nil, info, fmt.Errorf("stream: only checkpoint generation is unusable: %w", errCur)
+	}
+	return nil, info, fmt.Errorf("stream: every checkpoint generation is unusable: %w; previous: %v", errCur, errPrev)
+}
+
+// loadFile reads and verifies one checkpoint file.
+func loadFile(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rest, ok := strings.CutPrefix(string(data), checkpointMagic+"\n")
+	if !ok {
+		return nil, &CorruptError{Path: path, Reason: "bad magic header"}
+	}
+	nl := strings.IndexByte(rest, '\n')
+	if nl < 0 {
+		return nil, &CorruptError{Path: path, Reason: "truncated before payload"}
+	}
+	sumLine, payload := rest[:nl], []byte(rest[nl+1:])
+	hexSum, ok := strings.CutPrefix(sumLine, "sha256 ")
+	if !ok {
+		return nil, &CorruptError{Path: path, Reason: "missing sha256 header"}
+	}
+	want, err := hex.DecodeString(hexSum)
+	if err != nil || len(want) != sha256.Size {
+		return nil, &CorruptError{Path: path, Reason: "malformed sha256 header"}
+	}
+	got := sha256.Sum256(payload)
+	if !bytes.Equal(got[:], want) {
+		return nil, &CorruptError{Path: path, Reason: "payload digest mismatch (torn or tampered write)"}
+	}
+	var st State
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, &CorruptError{Path: path, Reason: "payload does not decode: " + err.Error()}
+	}
+	if err := validateState(&st); err != nil {
+		return nil, &CorruptError{Path: path, Reason: err.Error()}
+	}
+	return &st, nil
+}
+
+// validateState checks structural invariants a matcher rebuild depends on.
+func validateState(st *State) error {
+	if st.Offset < 0 {
+		return fmt.Errorf("negative offset %d", st.Offset)
+	}
+	seen := make(map[string]bool, len(st.Templates))
+	for i, t := range st.Templates {
+		key := strings.Join(t.Tokens, " ")
+		if seen[key] {
+			return fmt.Errorf("duplicate template %d (%q)", i, key)
+		}
+		seen[key] = true
+		if t.Count < 0 {
+			return fmt.Errorf("template %d has negative count", i)
+		}
+	}
+	return nil
+}

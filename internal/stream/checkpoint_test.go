@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"logparse/internal/faultinject"
+)
+
+func testState(offset int64) *State {
+	return &State{
+		Offset: offset,
+		Templates: []SavedTemplate{
+			{ID: "S1", Tokens: []string{"connection", "from", "*"}, Count: offset * 2},
+			{ID: "S2", Tokens: []string{"error", "*", "retry"}, Count: 7},
+		},
+		Unmatched: []string{"weird line one", "weird line two"},
+		Counters:  Counters{Processed: offset, Matched: offset - 2},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testState(42)
+	if err := s.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Source != "current" {
+		t.Fatalf("Source = %q, want current", info.Source)
+	}
+	if got.Offset != 42 || len(got.Templates) != 2 || got.Templates[0].Count != 84 {
+		t.Fatalf("round trip mangled state: %+v", got)
+	}
+	if len(got.Unmatched) != 2 || got.Unmatched[1] != "weird line two" {
+		t.Fatalf("unmatched buffer mangled: %v", got.Unmatched)
+	}
+}
+
+func TestCheckpointLoadEmptyDir(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, info, err := s.Load()
+	if err != nil || st != nil || info.Source != "none" {
+		t.Fatalf("Load on empty dir = (%v, %+v, %v), want (nil, none, nil)", st, info, err)
+	}
+}
+
+func TestCheckpointRotationKeepsPreviousGeneration(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewStore(dir)
+	if err := s.Save(testState(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(testState(20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, prevName)); err != nil {
+		t.Fatalf("previous generation missing after second save: %v", err)
+	}
+	st, info, err := s.Load()
+	if err != nil || info.Source != "current" || st.Offset != 20 {
+		t.Fatalf("Load = (%+v, %+v, %v), want current offset 20", st, info, err)
+	}
+}
+
+// corrupt flips a byte inside the payload of a checkpoint file.
+func corrupt(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointCorruptCurrentFallsBackToPrevious(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewStore(dir)
+	s.Save(testState(10))
+	s.Save(testState(20))
+	corrupt(t, filepath.Join(dir, currentName))
+
+	st, info, err := s.Load()
+	if err != nil {
+		t.Fatalf("Load should fall back, got error %v", err)
+	}
+	if info.Source != "previous" || st.Offset != 10 {
+		t.Fatalf("Load = source %q offset %d, want previous/10", info.Source, st.Offset)
+	}
+	var ce *CorruptError
+	if !errors.As(info.CorruptCurrent, &ce) {
+		t.Fatalf("CorruptCurrent = %v, want a CorruptError", info.CorruptCurrent)
+	}
+	if !strings.Contains(ce.Reason, "digest mismatch") {
+		t.Fatalf("Reason = %q, want a digest mismatch", ce.Reason)
+	}
+}
+
+func TestCheckpointAllGenerationsCorruptIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewStore(dir)
+	s.Save(testState(10))
+	s.Save(testState(20))
+	corrupt(t, filepath.Join(dir, currentName))
+	corrupt(t, filepath.Join(dir, prevName))
+	if _, _, err := s.Load(); err == nil {
+		t.Fatal("Load with every generation corrupt should fail loudly")
+	}
+}
+
+func TestCheckpointTruncatedFileIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewStore(dir)
+	s.Save(testState(10))
+	path := filepath.Join(dir, currentName)
+	data, _ := os.ReadFile(path)
+	os.WriteFile(path, data[:len(data)/2], 0o644)
+	_, _, err := s.Load()
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Load of a truncated sole generation = %v, want CorruptError", err)
+	}
+}
+
+func TestCheckpointTornWriteDetectedAtLoad(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewStore(dir)
+	s.Save(testState(10)) // healthy previous-to-be
+
+	// The torn write silently loses the payload tail (crash between write
+	// and fsync) while every Write reports success, so Save completes and
+	// publishes the damaged file as current.
+	var tw *faultinject.TornWriter
+	s.wrap = func(w io.Writer) io.Writer {
+		tw = faultinject.NewTornWriter(w, 40)
+		return tw
+	}
+	if err := s.Save(testState(20)); err != nil {
+		t.Fatalf("torn save should report success, got %v", err)
+	}
+	if !tw.Torn() {
+		t.Fatal("writer did not tear; limit too high for this state")
+	}
+	s.wrap = nil
+
+	st, info, err := s.Load()
+	if err != nil {
+		t.Fatalf("Load should fall back past the torn current, got %v", err)
+	}
+	if info.Source != "previous" || st.Offset != 10 {
+		t.Fatalf("Load = source %q offset %d, want previous/10", info.Source, st.Offset)
+	}
+}
+
+func TestCheckpointRejectsDuplicateTemplates(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := NewStore(dir)
+	st := testState(5)
+	st.Templates = append(st.Templates, st.Templates[0])
+	if err := s.Save(st); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := s.Load()
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !strings.Contains(ce.Reason, "duplicate template") {
+		t.Fatalf("Load = %v, want duplicate-template CorruptError", err)
+	}
+}

@@ -1,0 +1,505 @@
+package stream
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"logparse/internal/core"
+	"logparse/internal/match"
+	"logparse/internal/parsers/slct"
+	"logparse/internal/robust"
+)
+
+// ErrAlreadyRunning is returned by Run when the engine is mid-run.
+var ErrAlreadyRunning = errors.New("stream: engine is already running")
+
+// Engine is the crash-safe streaming ingester. Build one with New (which
+// restores the newest trustworthy checkpoint), drive it with Run, inspect
+// it with Stats/Result, and persist it on demand with Checkpoint.
+//
+// Determinism contract: under the Backpressure policy everything downstream
+// of admission is a pure function of the source line order, so resuming
+// from any checkpoint replays into exactly the state an uninterrupted run
+// reaches. Under LoadShed the set of kept lines depends on timing and the
+// contract is waived (that is the point of shedding).
+type Engine struct {
+	cfg   Config
+	store *Store
+	now   func() time.Time
+
+	mu        sync.Mutex // guards everything below
+	matcher   *match.Matcher
+	templates []core.Template
+	counts    []int64
+	index     map[string]int // rendered template → index
+	unmatched []string
+	offset    int64
+	ctrs      Counters
+	breaker   *breaker
+
+	sinceCkpt     int
+	checkpoints   int64
+	ckptErrors    int64
+	lastCkpt      time.Time
+	haveCkpt      bool
+	recoveredFrom string
+	ring          *ring
+	running       bool
+}
+
+// New builds an engine, restoring the newest trustworthy checkpoint from
+// cfg.CheckpointDir (falling back from a corrupt current generation to the
+// previous one). When every existing generation is corrupt, New fails
+// rather than silently restarting from zero.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Open == nil {
+		return nil, fmt.Errorf("stream: Config.Open is required")
+	}
+	if cfg.RingCapacity <= 0 {
+		cfg.RingCapacity = 1024
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 5000
+	}
+	if cfg.RetrainBatch <= 0 {
+		cfg.RetrainBatch = 256
+	}
+	if cfg.MaxUnmatched <= 0 {
+		cfg.MaxUnmatched = 4 * cfg.RetrainBatch
+	}
+	if cfg.MaxUnmatched < cfg.RetrainBatch {
+		cfg.MaxUnmatched = cfg.RetrainBatch
+	}
+	if cfg.MaxLineBytes <= 0 {
+		cfg.MaxLineBytes = core.DefaultMaxLineBytes
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Retrainer == nil {
+		rt, err := NewRetrainer(robust.Policy{}, nil, slct.StreamOptions{})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Retrainer = rt
+	}
+	store, err := NewStore(cfg.CheckpointDir)
+	if err != nil {
+		return nil, err
+	}
+	store.wrap = cfg.CheckpointWrap
+
+	e := &Engine{
+		cfg:   cfg,
+		store: store,
+		now:   cfg.Now,
+		index: make(map[string]int),
+	}
+	st, info, err := store.Load()
+	if err != nil {
+		return nil, err
+	}
+	e.recoveredFrom = ""
+	if info.Source == "current" || info.Source == "previous" {
+		e.recoveredFrom = info.Source
+	}
+	if st != nil {
+		if err := e.restore(st); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := e.adoptTemplates(cfg.InitialTemplates); err != nil {
+			return nil, err
+		}
+		e.breaker = newBreaker(cfg.Breaker, 0, false, e.now())
+	}
+	return e, nil
+}
+
+// restore rebuilds in-memory state from a checkpoint.
+func (e *Engine) restore(st *State) error {
+	tmpls := make([]core.Template, len(st.Templates))
+	counts := make([]int64, len(st.Templates))
+	for i, t := range st.Templates {
+		tmpls[i] = core.Template{ID: t.ID, Tokens: append([]string(nil), t.Tokens...)}
+		counts[i] = t.Count
+	}
+	if err := e.adoptTemplates(tmpls); err != nil {
+		return fmt.Errorf("stream: checkpoint templates: %w", err)
+	}
+	e.counts = counts
+	e.unmatched = append([]string(nil), st.Unmatched...)
+	e.offset = st.Offset
+	e.ctrs = st.Counters
+	e.breaker = newBreaker(e.cfg.Breaker, st.BreakerFailures, st.BreakerOpen, e.now())
+	return nil
+}
+
+// adoptTemplates installs a template set (deduplicated by rendered string)
+// and rebuilds the matcher.
+func (e *Engine) adoptTemplates(tmpls []core.Template) error {
+	e.templates = nil
+	e.counts = nil
+	e.index = make(map[string]int, len(tmpls))
+	for _, t := range tmpls {
+		key := t.String()
+		if _, dup := e.index[key]; dup {
+			continue
+		}
+		e.index[key] = len(e.templates)
+		e.templates = append(e.templates, core.Template{
+			ID:     t.ID,
+			Tokens: append([]string(nil), t.Tokens...),
+		})
+		e.counts = append(e.counts, 0)
+	}
+	return e.rebuildMatcher()
+}
+
+// rebuildMatcher refreshes the trie from e.templates.
+func (e *Engine) rebuildMatcher() error {
+	if len(e.templates) == 0 {
+		e.matcher = nil
+		return nil
+	}
+	m, err := match.New(e.templates)
+	if err != nil {
+		return err
+	}
+	e.matcher = m
+	return nil
+}
+
+// Run tails the source until it ends cleanly (final checkpoint, nil
+// return), the source fails (state checkpointed, error returned — a later
+// Run resumes), or ctx ends (NO checkpoint: cancellation models a crash,
+// so everything after the last checkpoint is deliberately forgotten;
+// graceful shutdowns call Checkpoint after Run returns).
+func (e *Engine) Run(ctx context.Context) error {
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		return ErrAlreadyRunning
+	}
+	e.running = true
+	startOffset := e.offset
+	r := newRing(e.cfg.RingCapacity)
+	e.ring = r
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.running = false
+		e.mu.Unlock()
+	}()
+
+	// Wake blocked ring operations when the caller cancels.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			r.abort()
+		case <-stop:
+		}
+	}()
+
+	prodErr := make(chan error, 1)
+	go e.produce(ctx, r, startOffset, prodErr)
+
+	for {
+		it, ok := r.pop()
+		if !ok {
+			if err := ctx.Err(); err != nil {
+				return err // crash-style stop: no checkpoint
+			}
+			break // clean drain
+		}
+		if err := e.process(ctx, it); err != nil {
+			return err
+		}
+		if e.cfg.AfterLine != nil {
+			e.cfg.AfterLine(it.lineNo)
+		}
+		if err := ctx.Err(); err != nil {
+			return err // the hook may hard-stop the engine mid-interval
+		}
+		e.mu.Lock()
+		due := e.cfg.CheckpointEvery > 0 && e.sinceCkpt >= e.cfg.CheckpointEvery
+		if due {
+			e.checkpointLocked()
+		}
+		e.mu.Unlock()
+	}
+
+	var srcErr error
+	select {
+	case srcErr = <-prodErr:
+	default:
+	}
+	if err := e.Checkpoint(); err != nil {
+		if srcErr != nil {
+			return fmt.Errorf("%w (and final checkpoint failed: %v)", srcErr, err)
+		}
+		return err
+	}
+	return srcErr
+}
+
+// produce tails the source into the ring, skipping the first startOffset
+// lines (already durably processed). Line numbering excludes empty lines
+// and is therefore identical across replays.
+func (e *Engine) produce(ctx context.Context, r *ring, startOffset int64, prodErr chan<- error) {
+	defer r.close()
+	rc, err := e.cfg.Open()
+	if err != nil {
+		prodErr <- fmt.Errorf("stream: open source: %w", err)
+		return
+	}
+	defer rc.Close()
+	br := bufio.NewReaderSize(rc, 64*1024)
+	var lineNo int64
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		raw, oversized, rerr := core.ReadLine(br, e.cfg.MaxLineBytes)
+		done := errors.Is(rerr, io.EOF)
+		if rerr != nil && !done {
+			prodErr <- fmt.Errorf("stream: read source: %w", rerr)
+			return
+		}
+		if len(raw) > 0 || oversized {
+			lineNo++
+			if lineNo > startOffset {
+				it := item{lineNo: lineNo, content: string(raw)}
+				if oversized {
+					e.mu.Lock()
+					e.ctrs.Oversized++
+					e.mu.Unlock()
+				}
+				if e.cfg.Policy == LoadShed {
+					if !r.pushTry(it) {
+						e.mu.Lock()
+						e.ctrs.Shed++
+						e.mu.Unlock()
+					}
+				} else if !r.pushWait(it) {
+					return // aborted
+				}
+			}
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// process handles one admitted line: match it, or buffer it and possibly
+// retrain. Only retrain-chain context errors propagate (and only so the
+// run can stop promptly); every other retrain failure is absorbed by the
+// breaker.
+func (e *Engine) process(ctx context.Context, it item) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ctrs.Processed++
+	e.sinceCkpt++
+	e.offset = it.lineNo
+
+	content := core.ContentOf(it.content)
+	tokens := core.Tokenize(content)
+	if len(tokens) == 0 {
+		e.ctrs.Empty++
+		return nil
+	}
+	if e.matcher != nil {
+		if t, err := e.matcher.Match(tokens); err == nil {
+			e.counts[e.index[t.String()]]++
+			e.ctrs.Matched++
+			return nil
+		}
+	}
+	e.unmatched = append(e.unmatched, content)
+	if len(e.unmatched) >= e.cfg.RetrainBatch {
+		e.retrainLocked(ctx)
+	}
+	e.capUnmatchedLocked()
+	return nil
+}
+
+// retrainLocked attempts one retrain over the whole unmatched buffer,
+// guarded by the circuit breaker. Called with e.mu held.
+func (e *Engine) retrainLocked(ctx context.Context) {
+	if !e.breaker.allow(e.now()) {
+		return
+	}
+	rctx := ctx
+	var cancel context.CancelFunc
+	if e.cfg.RetrainTimeout > 0 {
+		rctx, cancel = context.WithTimeout(ctx, e.cfg.RetrainTimeout)
+		defer cancel()
+	}
+	batch := append([]string(nil), e.unmatched...)
+	tmpls, err := e.cfg.Retrainer.Retrain(rctx, batch)
+	if err == nil {
+		err = e.mergeTemplatesLocked(tmpls)
+	}
+	if err != nil {
+		e.ctrs.RetrainFailures++
+		e.breaker.failure(e.now())
+		// Shed the batch head: the trigger re-arms only after RetrainBatch
+		// more unmatched lines, instead of retrying on every line.
+		drop := e.cfg.RetrainBatch
+		if drop > len(e.unmatched) {
+			drop = len(e.unmatched)
+		}
+		e.unmatched = append([]string(nil), e.unmatched[drop:]...)
+		e.ctrs.UnmatchedDropped += int64(drop)
+		return
+	}
+	e.ctrs.Retrains++
+	e.breaker.success()
+	e.reapplyUnmatchedLocked()
+}
+
+// mergeTemplatesLocked adds newly mined templates (deduplicated against
+// the live set by rendered string) and rebuilds the matcher.
+func (e *Engine) mergeTemplatesLocked(tmpls []core.Template) error {
+	added := false
+	for _, t := range tmpls {
+		key := strings.Join(t.Tokens, " ")
+		if _, ok := e.index[key]; ok {
+			continue
+		}
+		e.index[key] = len(e.templates)
+		e.templates = append(e.templates, core.Template{
+			ID:     fmt.Sprintf("S%d", len(e.templates)+1),
+			Tokens: append([]string(nil), t.Tokens...),
+		})
+		e.counts = append(e.counts, 0)
+		added = true
+	}
+	if !added {
+		return nil
+	}
+	return e.rebuildMatcher()
+}
+
+// reapplyUnmatchedLocked drains the buffer through the (possibly updated)
+// matcher: covered lines are counted, the rest are unparsed — below the
+// mining support threshold — and dropped so memory stays bounded.
+func (e *Engine) reapplyUnmatchedLocked() {
+	pending := e.unmatched
+	e.unmatched = nil
+	for _, line := range pending {
+		if e.matcher == nil {
+			e.ctrs.Unparsed++
+			continue
+		}
+		if t, err := e.matcher.Match(core.Tokenize(line)); err == nil {
+			e.counts[e.index[t.String()]]++
+			e.ctrs.Matched++
+		} else {
+			e.ctrs.Unparsed++
+		}
+	}
+}
+
+// capUnmatchedLocked enforces the buffer cap by shedding oldest lines.
+func (e *Engine) capUnmatchedLocked() {
+	if over := len(e.unmatched) - e.cfg.MaxUnmatched; over > 0 {
+		e.unmatched = append([]string(nil), e.unmatched[over:]...)
+		e.ctrs.UnmatchedDropped += int64(over)
+	}
+}
+
+// Checkpoint persists the current state as the newest generation. Safe to
+// call at any time, including after Run returns (graceful shutdown).
+func (e *Engine) Checkpoint() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.checkpointLocked()
+}
+
+func (e *Engine) checkpointLocked() error {
+	st := &State{
+		Offset:          e.offset,
+		Templates:       make([]SavedTemplate, len(e.templates)),
+		Unmatched:       append([]string(nil), e.unmatched...),
+		Counters:        e.ctrs,
+		BreakerFailures: e.breaker.consecutive,
+		BreakerOpen:     e.breaker.isOpen(),
+	}
+	for i, t := range e.templates {
+		st.Templates[i] = SavedTemplate{
+			ID:     t.ID,
+			Tokens: append([]string(nil), t.Tokens...),
+			Count:  e.counts[i],
+		}
+	}
+	if err := e.store.Save(st); err != nil {
+		e.ckptErrors++
+		return err
+	}
+	e.checkpoints++
+	e.sinceCkpt = 0
+	e.lastCkpt = e.now()
+	e.haveCkpt = true
+	return nil
+}
+
+// Result returns the current template set and the parallel per-template
+// event counts (copies).
+func (e *Engine) Result() ([]core.Template, []int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tmpls := make([]core.Template, len(e.templates))
+	for i, t := range e.templates {
+		tmpls[i] = core.Template{ID: t.ID, Tokens: append([]string(nil), t.Tokens...)}
+	}
+	return tmpls, append([]int64(nil), e.counts...)
+}
+
+// Digest returns the canonical digest of the engine's current outcome.
+func (e *Engine) Digest() string {
+	tmpls, counts := e.Result()
+	return Digest(tmpls, counts)
+}
+
+// Stats returns a health snapshot. Safe to call concurrently with Run.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := Stats{
+		Processed:         e.ctrs.Processed,
+		Matched:           e.ctrs.Matched,
+		Shed:              e.ctrs.Shed,
+		Empty:             e.ctrs.Empty,
+		Oversized:         e.ctrs.Oversized,
+		Unparsed:          e.ctrs.Unparsed,
+		UnmatchedDropped:  e.ctrs.UnmatchedDropped,
+		UnmatchedBuffered: len(e.unmatched),
+		Retrains:          e.ctrs.Retrains,
+		RetrainFailures:   e.ctrs.RetrainFailures,
+		Checkpoints:       e.checkpoints,
+		CheckpointErrors:  e.ckptErrors,
+		CheckpointAge:     -1,
+		Offset:            e.offset,
+		Templates:         len(e.templates),
+		Breaker:           e.breaker.stateName(),
+		RecoveredFrom:     e.recoveredFrom,
+	}
+	if e.haveCkpt {
+		s.CheckpointAge = e.now().Sub(e.lastCkpt)
+	}
+	if e.ring != nil {
+		s.RingDepth, s.RingHighWater = e.ring.stats()
+	}
+	s.LinesIn = s.Processed + s.Shed + int64(s.RingDepth)
+	return s
+}

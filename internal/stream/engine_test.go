@@ -1,0 +1,492 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"logparse/internal/core"
+	"logparse/internal/faultinject"
+)
+
+// memOpen returns a re-openable source over fixed lines.
+func memOpen(lines []string) func() (io.ReadCloser, error) {
+	data := strings.Join(lines, "\n") + "\n"
+	return func() (io.ReadCloser, error) {
+		return io.NopCloser(strings.NewReader(data)), nil
+	}
+}
+
+// synthLines produces a deterministic stream mixing a few stable event
+// shapes with rare one-off noise lines.
+func synthLines(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			lines = append(lines, fmt.Sprintf("connection from 10.0.0.%d port %d", rng.Intn(50), 1000+rng.Intn(100)))
+		case 4, 5, 6:
+			lines = append(lines, fmt.Sprintf("block blk_%d replicated to %d nodes", rng.Int63n(1<<40), 1+rng.Intn(3)))
+		case 7, 8:
+			lines = append(lines, fmt.Sprintf("session %d closed after %d ms", rng.Intn(9000), rng.Intn(5000)))
+		default:
+			lines = append(lines, fmt.Sprintf("oneoff event %d %d %d", rng.Int63(), rng.Int63(), rng.Int63()))
+		}
+	}
+	return lines
+}
+
+// groupMiner is a deterministic toy retrainer: it groups lines by (token
+// count, first token), keeps groups with at least minSupport members, and
+// wildcards every position whose values differ within the group.
+type groupMiner struct {
+	minSupport int
+
+	mu    sync.Mutex
+	fail  bool
+	calls int
+}
+
+func (m *groupMiner) Name() string { return "group-miner" }
+
+func (m *groupMiner) setFail(fail bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fail = fail
+}
+
+func (m *groupMiner) callCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.calls
+}
+
+func (m *groupMiner) Retrain(ctx context.Context, lines []string) ([]core.Template, error) {
+	m.mu.Lock()
+	m.calls++
+	fail := m.fail
+	m.mu.Unlock()
+	if fail {
+		return nil, errors.New("group-miner: injected failure")
+	}
+	groups := make(map[string][][]string)
+	for _, line := range lines {
+		toks := core.Tokenize(line)
+		if len(toks) == 0 {
+			continue
+		}
+		key := fmt.Sprintf("%d|%s", len(toks), toks[0])
+		groups[key] = append(groups[key], toks)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var tmpls []core.Template
+	minSupport := m.minSupport
+	if minSupport <= 0 {
+		minSupport = 2
+	}
+	for _, k := range keys {
+		members := groups[k]
+		if len(members) < minSupport {
+			continue
+		}
+		tokens := append([]string(nil), members[0]...)
+		for _, mem := range members[1:] {
+			for i, tok := range mem {
+				if tokens[i] != tok {
+					tokens[i] = "*"
+				}
+			}
+		}
+		tmpls = append(tmpls, core.Template{ID: k, Tokens: tokens})
+	}
+	return tmpls, nil
+}
+
+// fakeClock is a manually advanced engine clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func testConfig(t *testing.T, lines []string) Config {
+	t.Helper()
+	return Config{
+		Open:            memOpen(lines),
+		CheckpointDir:   t.TempDir(),
+		RingCapacity:    64,
+		CheckpointEvery: 50,
+		RetrainBatch:    32,
+		Retrainer:       &groupMiner{},
+	}
+}
+
+func TestEngineBasicIngest(t *testing.T) {
+	lines := synthLines(600, 1)
+	cfg := testConfig(t, lines)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Processed != int64(len(lines)) {
+		t.Fatalf("Processed = %d, want %d", s.Processed, len(lines))
+	}
+	if s.Offset != int64(len(lines)) {
+		t.Fatalf("Offset = %d, want %d", s.Offset, len(lines))
+	}
+	if s.Templates == 0 || s.Retrains == 0 {
+		t.Fatalf("no templates mined: %+v", s)
+	}
+	if s.Matched == 0 {
+		t.Fatal("no lines matched after retraining")
+	}
+	// Every processed line lands in exactly one bucket.
+	accounted := s.Matched + s.Unparsed + s.Empty + s.UnmatchedDropped + int64(s.UnmatchedBuffered)
+	if accounted != s.Processed {
+		t.Fatalf("accounting: matched %d + unparsed %d + empty %d + dropped %d + buffered %d != processed %d",
+			s.Matched, s.Unparsed, s.Empty, s.UnmatchedDropped, s.UnmatchedBuffered, s.Processed)
+	}
+	if s.Checkpoints == 0 {
+		t.Fatal("no checkpoint was written")
+	}
+	if s.Shed != 0 {
+		t.Fatalf("Shed = %d under backpressure", s.Shed)
+	}
+}
+
+func TestEngineDigestDeterministicAcrossFreshRuns(t *testing.T) {
+	lines := synthLines(500, 2)
+	var digests []string
+	for i := 0; i < 2; i++ {
+		e, err := New(testConfig(t, lines))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, e.Digest())
+	}
+	if digests[0] != digests[1] {
+		t.Fatalf("two identical fresh runs diverged: %s vs %s", digests[0], digests[1])
+	}
+}
+
+func TestEngineInitialTemplatesMatcherOnly(t *testing.T) {
+	lines := []string{
+		"login user alice ok",
+		"login user bob ok",
+		"login user carol ok",
+	}
+	cfg := testConfig(t, lines)
+	cfg.InitialTemplates = []core.Template{{ID: "T1", Tokens: []string{"login", "user", "*", "ok"}}}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Matched != 3 || s.Retrains != 0 || s.UnmatchedBuffered != 0 {
+		t.Fatalf("seeded matcher run: %+v", s)
+	}
+	_, counts := e.Result()
+	if len(counts) != 1 || counts[0] != 3 {
+		t.Fatalf("counts = %v, want [3]", counts)
+	}
+}
+
+func TestEngineLoadShedKeepsMemoryBoundedAndCountsSheds(t *testing.T) {
+	lines := synthLines(400, 3)
+	cfg := testConfig(t, lines)
+	cfg.Policy = LoadShed
+	cfg.RingCapacity = 4
+	cfg.AfterLine = func(int64) { time.Sleep(200 * time.Microsecond) } // slow consumer
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Shed == 0 {
+		t.Fatal("overloaded shed run dropped nothing; consumer not slow enough?")
+	}
+	if s.RingHighWater > 4 {
+		t.Fatalf("ring high-water %d exceeds capacity 4", s.RingHighWater)
+	}
+	if got := s.Processed + s.Shed; got != int64(len(lines)) {
+		t.Fatalf("processed %d + shed %d = %d, want every source line (%d) accounted",
+			s.Processed, s.Shed, got, len(lines))
+	}
+	if s.LinesIn != int64(len(lines)) {
+		t.Fatalf("LinesIn = %d, want %d", s.LinesIn, len(lines))
+	}
+}
+
+func TestEngineBreakerTripsThenRecovers(t *testing.T) {
+	lines := synthLines(600, 4)
+	miner := &groupMiner{}
+	miner.setFail(true)
+	clock := newFakeClock()
+	cfg := testConfig(t, lines)
+	cfg.Retrainer = miner
+	cfg.RetrainBatch = 16
+	cfg.MaxUnmatched = 32
+	cfg.Breaker = BreakerConfig{Threshold: 2, Cooldown: time.Minute}
+	cfg.Now = clock.Now
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var once sync.Once
+	cfg2 := &e.cfg
+	cfg2.AfterLine = func(lineNo int64) {
+		if lineNo == 300 {
+			// Half the stream in: the breaker has tripped. Let it cool down
+			// and heal the miner so the probe succeeds.
+			once.Do(func() {
+				if st := e.Stats(); st.Breaker != "open" {
+					t.Errorf("breaker = %s at line 300, want open", st.Breaker)
+				}
+				miner.setFail(false)
+				clock.Advance(2 * time.Minute)
+			})
+		}
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.RetrainFailures < 2 {
+		t.Fatalf("RetrainFailures = %d, want >= threshold", s.RetrainFailures)
+	}
+	if s.Retrains == 0 || s.Breaker != "closed" {
+		t.Fatalf("breaker did not recover: retrains=%d state=%s", s.Retrains, s.Breaker)
+	}
+	if s.UnmatchedDropped == 0 {
+		t.Fatal("failed retrains should have shed batch heads")
+	}
+	if s.UnmatchedBuffered > cfg.MaxUnmatched {
+		t.Fatalf("unmatched buffer %d exceeds cap %d", s.UnmatchedBuffered, cfg.MaxUnmatched)
+	}
+}
+
+func TestEngineBreakerOpenCapsUnmatchedBuffer(t *testing.T) {
+	lines := synthLines(500, 5)
+	miner := &groupMiner{}
+	miner.setFail(true)
+	cfg := testConfig(t, lines)
+	cfg.Retrainer = miner
+	cfg.RetrainBatch = 16
+	cfg.MaxUnmatched = 40
+	cfg.Breaker = BreakerConfig{Threshold: 2, Cooldown: time.Hour}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Breaker != "open" {
+		t.Fatalf("breaker = %s, want open (miner always fails)", s.Breaker)
+	}
+	if s.RetrainFailures != 2 {
+		t.Fatalf("RetrainFailures = %d, want exactly the threshold (breaker then blocks)", s.RetrainFailures)
+	}
+	if s.UnmatchedBuffered > 40 {
+		t.Fatalf("unmatched buffer %d exceeds cap 40 with the breaker open", s.UnmatchedBuffered)
+	}
+	if s.UnmatchedDropped == 0 {
+		t.Fatal("cap enforcement should have dropped oldest unmatched lines")
+	}
+}
+
+func TestEngineRestoresFromPreviousWhenCurrentIsTorn(t *testing.T) {
+	lines := synthLines(300, 6)
+	cfg := testConfig(t, lines)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil { // second generation → prev exists
+		t.Fatal(err)
+	}
+
+	// Tear the current generation the way a crash between write and fsync
+	// would: keep a prefix, lose the tail, leave the file in place.
+	cur := filepath.Join(cfg.CheckpointDir, currentName)
+	data, err := os.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cur, data[:len(data)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New should fall back to the previous generation: %v", err)
+	}
+	if got := e2.Stats().RecoveredFrom; got != "previous" {
+		t.Fatalf("RecoveredFrom = %q, want previous", got)
+	}
+	if e2.Stats().Offset != int64(len(lines)) {
+		t.Fatalf("restored offset = %d, want %d", e2.Stats().Offset, len(lines))
+	}
+}
+
+func TestEngineTornCheckpointWriterProducesFallback(t *testing.T) {
+	lines := synthLines(200, 7)
+	cfg := testConfig(t, lines)
+	cfg.CheckpointEvery = -1 // only explicit checkpoints
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil { // final checkpoint = healthy gen 1
+		t.Fatal(err)
+	}
+
+	// Gen 2 is written through a torn writer: Save reports success but the
+	// payload tail never reached the disk.
+	e.cfg.CheckpointWrap = func(w io.Writer) io.Writer { return faultinject.NewTornWriter(w, 60) }
+	e.store.wrap = e.cfg.CheckpointWrap
+	if err := e.Checkpoint(); err != nil {
+		t.Fatalf("torn checkpoint should report success (that is the hazard): %v", err)
+	}
+
+	e2, err := New(Config{Open: cfg.Open, CheckpointDir: cfg.CheckpointDir, Retrainer: &groupMiner{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.Stats().RecoveredFrom; got != "previous" {
+		t.Fatalf("RecoveredFrom = %q, want previous", got)
+	}
+}
+
+func TestEngineOversizedLinesCounted(t *testing.T) {
+	lines := []string{
+		"short line one",
+		"long " + strings.Repeat("x", 300),
+		"short line two",
+	}
+	cfg := testConfig(t, lines)
+	cfg.MaxLineBytes = 64
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Oversized != 1 || s.Processed != 3 {
+		t.Fatalf("Oversized = %d Processed = %d, want 1/3", s.Oversized, s.Processed)
+	}
+}
+
+func TestEngineRunTwiceSequentiallyResumes(t *testing.T) {
+	lines := synthLines(100, 8)
+	cfg := testConfig(t, lines)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	first := e.Stats().Processed
+	if err := e.Run(context.Background()); err != nil { // source replays; all lines already processed
+		t.Fatal(err)
+	}
+	if got := e.Stats().Processed; got != first {
+		t.Fatalf("second Run reprocessed lines: %d -> %d", first, got)
+	}
+}
+
+func TestEngineRejectsConcurrentRun(t *testing.T) {
+	lines := synthLines(2000, 9)
+	cfg := testConfig(t, lines)
+	cfg.AfterLine = func(int64) { time.Sleep(50 * time.Microsecond) }
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- e.Run(ctx) }()
+	time.Sleep(5 * time.Millisecond)
+	if err := e.Run(ctx); !errors.Is(err, ErrAlreadyRunning) {
+		t.Fatalf("second concurrent Run = %v, want ErrAlreadyRunning", err)
+	}
+	cancel()
+	<-done
+}
+
+func TestEngineStatsReadableDuringRun(t *testing.T) {
+	lines := synthLines(1500, 10)
+	cfg := testConfig(t, lines)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = e.Stats()
+			}
+		}
+	}()
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+}

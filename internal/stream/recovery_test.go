@@ -1,0 +1,226 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"logparse/internal/faultinject"
+)
+
+// runToEnd drives a fresh engine over the whole stream uninterrupted and
+// returns its digest and stats.
+func runToEnd(t *testing.T, cfg Config) (string, Stats) {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return e.Digest(), e.Stats()
+}
+
+// killAt runs one engine incarnation and hard-stops it (context cancel, no
+// checkpoint — the crash model) right after processing source line n.
+// Returns the engine so callers can inspect the corpse.
+func killAt(t *testing.T, cfg Config, n int64) *Engine {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.AfterLine = func(lineNo int64) {
+		if lineNo == n {
+			cancel()
+		}
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run at line %d returned %v, want context.Canceled", n, err)
+	}
+	return e
+}
+
+// TestKillAndRecoverConvergesToUninterruptedRun is the headline recovery
+// property: a run killed at several stream positions — far from any
+// checkpoint boundary — and resumed each time ends with exactly the
+// template set and per-template event counts of an uninterrupted run.
+func TestKillAndRecoverConvergesToUninterruptedRun(t *testing.T) {
+	lines := synthLines(700, 20)
+	base := func(dir string) Config {
+		return Config{
+			Open:            memOpen(lines),
+			CheckpointDir:   dir,
+			RingCapacity:    32,
+			CheckpointEvery: 37, // deliberately coprime with the kill points
+			RetrainBatch:    24,
+			Retrainer:       &groupMiner{},
+		}
+	}
+	wantDigest, wantStats := runToEnd(t, base(t.TempDir()))
+
+	dir := t.TempDir()
+	for _, kill := range []int64{139, 347, 563} {
+		e := killAt(t, base(dir), kill)
+		if got := e.Stats().Offset; got < kill {
+			t.Fatalf("kill point %d: engine stopped early at offset %d", kill, got)
+		}
+	}
+	gotDigest, gotStats := runToEnd(t, base(dir))
+
+	if gotDigest != wantDigest {
+		t.Fatalf("digest after 3 kills and resumes = %s, want uninterrupted %s", gotDigest, wantDigest)
+	}
+	if gotStats.Processed != wantStats.Processed ||
+		gotStats.Matched != wantStats.Matched ||
+		gotStats.Unparsed != wantStats.Unparsed ||
+		gotStats.Retrains != wantStats.Retrains {
+		t.Fatalf("counters diverged:\nresumed:       %+v\nuninterrupted: %+v", gotStats, wantStats)
+	}
+	if gotStats.Offset != int64(len(lines)) {
+		t.Fatalf("final offset = %d, want %d", gotStats.Offset, len(lines))
+	}
+}
+
+// TestKillImmediatelyAfterStartConverges covers the degenerate crash before
+// any checkpoint exists: recovery is a fresh start and must still converge.
+func TestKillImmediatelyAfterStartConverges(t *testing.T) {
+	lines := synthLines(300, 21)
+	base := func(dir string) Config {
+		return Config{
+			Open:            memOpen(lines),
+			CheckpointDir:   dir,
+			CheckpointEvery: 1000, // first kill lands before any periodic save
+			RetrainBatch:    24,
+			Retrainer:       &groupMiner{},
+		}
+	}
+	wantDigest, _ := runToEnd(t, base(t.TempDir()))
+
+	dir := t.TempDir()
+	killAt(t, base(dir), 5)
+	if store, err := NewStore(dir); err == nil {
+		if s, i, lerr := store.Load(); lerr != nil || s != nil || i.Source != "none" {
+			t.Fatalf("crash before first checkpoint left state: %+v %+v %v", s, i, lerr)
+		}
+	}
+	gotDigest, _ := runToEnd(t, base(dir))
+	if gotDigest != wantDigest {
+		t.Fatalf("digest = %s, want %s", gotDigest, wantDigest)
+	}
+}
+
+// TestKillDuringCheckpointFallsBackToPreviousAndConverges models the
+// nastiest crash: the engine dies mid-checkpoint with the write torn (the
+// tail lost between write and fsync, rename already published). The resumed
+// engine must detect the damage, fall back to the previous generation, and
+// still converge to the uninterrupted outcome.
+func TestKillDuringCheckpointFallsBackToPreviousAndConverges(t *testing.T) {
+	lines := synthLines(700, 22)
+	base := func(dir string) Config {
+		return Config{
+			Open:            memOpen(lines),
+			CheckpointDir:   dir,
+			CheckpointEvery: 41,
+			RetrainBatch:    24,
+			Retrainer:       &groupMiner{},
+		}
+	}
+	wantDigest, wantStats := runToEnd(t, base(t.TempDir()))
+
+	dir := t.TempDir()
+	cfg := base(dir)
+	saves := 0
+	cfg.CheckpointWrap = func(w io.Writer) io.Writer {
+		saves++
+		if saves == 3 {
+			return faultinject.NewTornWriter(w, 50) // gen 3 is torn
+		}
+		return w
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.AfterLine = func(lineNo int64) {
+		if saves >= 3 { // die right after the torn save published
+			cancel()
+		}
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("torn-checkpoint run returned %v, want context.Canceled", err)
+	}
+
+	resumed, err := New(base(dir))
+	if err != nil {
+		t.Fatalf("resume after torn checkpoint: %v", err)
+	}
+	if got := resumed.Stats().RecoveredFrom; got != "previous" {
+		t.Fatalf("RecoveredFrom = %q, want previous", got)
+	}
+	if got := resumed.Stats().Offset; got != 2*41 {
+		t.Fatalf("restored offset = %d, want the second generation's %d", got, 2*41)
+	}
+	if err := resumed.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if gotDigest := resumed.Digest(); gotDigest != wantDigest {
+		t.Fatalf("digest after torn-checkpoint recovery = %s, want %s", gotDigest, wantDigest)
+	}
+	if got := resumed.Stats(); got.Processed != wantStats.Processed || got.Matched != wantStats.Matched {
+		t.Fatalf("counters diverged: %+v vs %+v", got, wantStats)
+	}
+}
+
+// TestRecoveryWithMidStreamSourceEOF drives recovery through the fault
+// injector's premature-EOF reader: the source ends early (clean EOF), the
+// engine checkpoints, and a later run over the healthy source finishes the
+// job with the same outcome as a run that never saw the fault.
+func TestRecoveryWithMidStreamSourceEOF(t *testing.T) {
+	lines := synthLines(400, 23)
+	healthy := memOpen(lines)
+	base := func(dir string, open func() (io.ReadCloser, error)) Config {
+		return Config{
+			Open:            open,
+			CheckpointDir:   dir,
+			CheckpointEvery: 31,
+			RetrainBatch:    24,
+			Retrainer:       &groupMiner{},
+		}
+	}
+	wantDigest, _ := runToEnd(t, base(t.TempDir(), healthy))
+
+	dir := t.TempDir()
+	truncated := func() (io.ReadCloser, error) {
+		rc, err := healthy()
+		if err != nil {
+			return nil, err
+		}
+		return io.NopCloser(faultinject.NewReader(rc, faultinject.Faults{EOFAfterLines: 150})), nil
+	}
+	e, err := New(base(dir, truncated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatalf("premature EOF is a clean end of source: %v", err)
+	}
+	if got := e.Stats().Offset; got != 150 {
+		t.Fatalf("offset after truncated source = %d, want 150", got)
+	}
+
+	gotDigest, gotStats := runToEnd(t, base(dir, healthy))
+	if gotDigest != wantDigest {
+		t.Fatalf("digest = %s, want %s", gotDigest, wantDigest)
+	}
+	if gotStats.Offset != int64(len(lines)) {
+		t.Fatalf("final offset = %d, want %d", gotStats.Offset, len(lines))
+	}
+}

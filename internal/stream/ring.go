@@ -1,0 +1,120 @@
+package stream
+
+import "sync"
+
+// item is one admitted source line: its 1-based line number in the source
+// (empty lines excluded) and its raw content.
+type item struct {
+	lineNo  int64
+	content string
+}
+
+// ring is the fixed-capacity admission queue between the source-tailing
+// producer and the matching consumer. Its capacity is the engine's memory
+// bound on in-flight lines: pushWait blocks the producer (Backpressure) and
+// pushTry refuses the line (LoadShed); neither ever grows the buffer.
+//
+// close marks the clean end of the source (the consumer drains what is
+// buffered); abort is the hard stop (pending items are abandoned, blocked
+// producers and consumers wake immediately).
+type ring struct {
+	mu       sync.Mutex
+	notFull  sync.Cond
+	notEmpty sync.Cond
+
+	buf       []item
+	head      int
+	count     int
+	highWater int
+	closed    bool
+	aborted   bool
+}
+
+func newRing(capacity int) *ring {
+	r := &ring{buf: make([]item, capacity)}
+	r.notFull.L = &r.mu
+	r.notEmpty.L = &r.mu
+	return r
+}
+
+// pushWait inserts it, blocking while the ring is full. It reports false
+// when the ring was aborted (or closed) instead.
+func (r *ring) pushWait(it item) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.count == len(r.buf) && !r.aborted && !r.closed {
+		r.notFull.Wait()
+	}
+	if r.aborted || r.closed {
+		return false
+	}
+	r.insertLocked(it)
+	return true
+}
+
+// pushTry inserts it only when a slot is free; false means the line is
+// shed.
+func (r *ring) pushTry(it item) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.aborted || r.closed || r.count == len(r.buf) {
+		return false
+	}
+	r.insertLocked(it)
+	return true
+}
+
+func (r *ring) insertLocked(it item) {
+	r.buf[(r.head+r.count)%len(r.buf)] = it
+	r.count++
+	if r.count > r.highWater {
+		r.highWater = r.count
+	}
+	r.notEmpty.Signal()
+}
+
+// pop removes the oldest item, blocking while the ring is empty and still
+// open. ok=false means no more items will ever come: the ring was aborted,
+// or closed and fully drained.
+func (r *ring) pop() (it item, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.count == 0 && !r.closed && !r.aborted {
+		r.notEmpty.Wait()
+	}
+	if r.aborted || r.count == 0 {
+		return item{}, false
+	}
+	it = r.buf[r.head]
+	r.buf[r.head] = item{} // release the line for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	r.notFull.Signal()
+	return it, true
+}
+
+// close marks the end of the source; buffered items remain poppable.
+func (r *ring) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	r.notFull.Broadcast()
+	r.notEmpty.Broadcast()
+}
+
+// abort hard-stops the ring: pending items are abandoned and every blocked
+// caller wakes with a failure.
+func (r *ring) abort() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.aborted = true
+	r.notFull.Broadcast()
+	r.notEmpty.Broadcast()
+}
+
+// stats reports current depth and the high-water mark.
+func (r *ring) stats() (depth, highWater int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count, r.highWater
+}

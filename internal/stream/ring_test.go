@@ -1,0 +1,114 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingFIFOAndDrainAfterClose(t *testing.T) {
+	r := newRing(4)
+	for i := int64(1); i <= 3; i++ {
+		if !r.pushTry(item{lineNo: i}) {
+			t.Fatalf("pushTry(%d) refused with free capacity", i)
+		}
+	}
+	r.close()
+	for want := int64(1); want <= 3; want++ {
+		it, ok := r.pop()
+		if !ok || it.lineNo != want {
+			t.Fatalf("pop = (%v, %v), want (%d, true)", it.lineNo, ok, want)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop after drain of a closed ring should report done")
+	}
+}
+
+func TestRingPushTryShedsWhenFull(t *testing.T) {
+	r := newRing(2)
+	r.pushTry(item{lineNo: 1})
+	r.pushTry(item{lineNo: 2})
+	if r.pushTry(item{lineNo: 3}) {
+		t.Fatal("pushTry succeeded on a full ring")
+	}
+	depth, high := r.stats()
+	if depth != 2 || high != 2 {
+		t.Fatalf("stats = (%d, %d), want (2, 2)", depth, high)
+	}
+}
+
+func TestRingPushWaitBlocksUntilPop(t *testing.T) {
+	r := newRing(1)
+	r.pushWait(item{lineNo: 1})
+
+	entered := make(chan struct{})
+	done := make(chan bool)
+	go func() {
+		close(entered)
+		done <- r.pushWait(item{lineNo: 2})
+	}()
+	<-entered
+	select {
+	case <-done:
+		t.Fatal("pushWait returned while the ring was full")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if it, ok := r.pop(); !ok || it.lineNo != 1 {
+		t.Fatalf("pop = (%v, %v), want (1, true)", it.lineNo, ok)
+	}
+	if ok := <-done; !ok {
+		t.Fatal("pushWait failed after a slot freed up")
+	}
+	if it, ok := r.pop(); !ok || it.lineNo != 2 {
+		t.Fatalf("pop = (%v, %v), want (2, true)", it.lineNo, ok)
+	}
+}
+
+func TestRingAbortWakesBlockedCallers(t *testing.T) {
+	full := newRing(1) // producer blocks on a full ring
+	full.pushWait(item{lineNo: 1})
+	empty := newRing(1) // consumer blocks on an empty ring
+
+	var wg sync.WaitGroup
+	results := make(chan bool, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); results <- full.pushWait(item{lineNo: 2}) }()
+	go func() {
+		defer wg.Done()
+		_, ok := empty.pop()
+		results <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	full.abort()
+	empty.abort()
+	wg.Wait()
+	close(results)
+	for ok := range results {
+		if ok {
+			t.Fatal("a blocked caller reported success after abort")
+		}
+	}
+}
+
+func TestRingAbortAbandonsPendingItems(t *testing.T) {
+	r := newRing(4)
+	r.pushTry(item{lineNo: 1})
+	r.abort()
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop returned an item from an aborted ring")
+	}
+}
+
+func TestRingHighWaterNeverExceedsCapacity(t *testing.T) {
+	r := newRing(3)
+	for i := int64(0); i < 10; i++ {
+		r.pushTry(item{lineNo: i})
+		if i%2 == 0 {
+			r.pop()
+		}
+	}
+	if _, high := r.stats(); high > 3 {
+		t.Fatalf("high-water %d exceeds capacity 3", high)
+	}
+}

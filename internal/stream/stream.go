@@ -1,0 +1,206 @@
+// Package stream is the toolkit's long-running ingestion service: the
+// missing piece between the paper's one-shot batch parses and a production
+// deployment that types an unbounded log stream. Both follow-up benchmarks
+// (Zhu et al., ICSE'19; Petrescu et al., 2023) observe that real systems
+// parse streams, not files — a parser that loses all state on crash, or
+// whose memory grows with the backlog, never survives contact with
+// production traffic.
+//
+// The Engine tails a re-openable log source, matches each line online
+// against a template Matcher (O(line length), the ingest-path component of
+// internal/match), buffers the lines no known template covers, and
+// periodically retrains on that buffer through a robust degradation chain
+// whose cheap tier reuses slct.ParseStream. Around that core it provides
+// the three robustness properties a long-running service needs:
+//
+//   - crash safety: the matcher's template set, per-template event counts,
+//     the unmatched buffer and the stream offset are checkpointed
+//     atomically (temp file + rename) with a SHA-256 integrity header and
+//     a retained previous generation; a torn or corrupted checkpoint is
+//     detected at load time and the engine falls back to the previous one.
+//     Replay from a checkpoint is deterministic under the Backpressure
+//     policy, so a killed-and-resumed run converges to the same template
+//     set and event counts as an uninterrupted run;
+//
+//   - bounded memory: admission runs through a fixed-capacity ring with a
+//     configurable policy — Backpressure blocks the tail, LoadShed drops
+//     the incoming line and counts it — and the unmatched buffer is capped,
+//     shedding its oldest lines when retraining cannot keep up;
+//
+//   - overload isolation: a circuit breaker trips retraining to the
+//     matcher-only tier after repeated failures and half-opens on an
+//     exponential cooldown, so a poisoned buffer or a broken retrain tier
+//     degrades the service to known-template matching instead of taking
+//     it down.
+//
+// cmd/logstreamd wires the engine to generated datasets replayed through
+// internal/faultinject; internal/conform registers the resumed-after-kill
+// path under the same canonical-digest equivalence as the batch path.
+package stream
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"logparse/internal/core"
+)
+
+// AdmissionPolicy selects what happens when the admission ring is full.
+type AdmissionPolicy int
+
+const (
+	// Backpressure blocks the source tail until the consumer frees a slot.
+	// Nothing is lost, and replay after a crash is deterministic; the cost
+	// is that a slow consumer stalls the producer.
+	Backpressure AdmissionPolicy = iota
+	// LoadShed drops the incoming line when the ring is full and counts it
+	// in Stats.Shed. The tail never stalls; shed lines are lost to
+	// matching (and may or may not be re-seen after a crash, see DESIGN.md
+	// "Streaming & recovery semantics").
+	LoadShed
+)
+
+// String renders the policy name.
+func (p AdmissionPolicy) String() string {
+	switch p {
+	case Backpressure:
+		return "backpressure"
+	case LoadShed:
+		return "shed"
+	default:
+		return "unknown"
+	}
+}
+
+// Config configures an Engine. Open and CheckpointDir are required; zero
+// values elsewhere mean the documented defaults.
+type Config struct {
+	// Open returns a fresh reader over the log source from its beginning.
+	// The engine re-opens on start and skips to the checkpointed offset,
+	// so the source must replay the same lines in the same order (a file,
+	// an object-store segment, a replayable queue).
+	Open func() (io.ReadCloser, error)
+	// CheckpointDir is the directory holding the checkpoint generations.
+	CheckpointDir string
+	// RingCapacity bounds the admission ring (default 1024 lines).
+	RingCapacity int
+	// Policy is the admission policy when the ring is full.
+	Policy AdmissionPolicy
+	// CheckpointEvery checkpoints after this many processed lines
+	// (default 5000; negative disables periodic checkpoints — the final
+	// and explicit Checkpoint calls still run).
+	CheckpointEvery int
+	// RetrainBatch triggers retraining once this many unmatched lines are
+	// buffered (default 256).
+	RetrainBatch int
+	// MaxUnmatched caps the unmatched buffer; when retraining cannot keep
+	// up (breaker open, tiers failing) the oldest lines beyond the cap are
+	// shed and counted (default 4×RetrainBatch).
+	MaxUnmatched int
+	// Retrainer mines templates from a batch of unmatched lines. Defaults
+	// to NewRetrainer with no primary tier (SLCT-stream only).
+	Retrainer Retrainer
+	// RetrainTimeout bounds one retrain attempt (0 = none). A timed-out
+	// retrain counts as a failure toward the breaker.
+	RetrainTimeout time.Duration
+	// Breaker configures the retrain circuit breaker.
+	Breaker BreakerConfig
+	// InitialTemplates seeds the matcher when no checkpoint exists, e.g.
+	// from an offline batch parse. Ignored when a checkpoint is restored.
+	InitialTemplates []core.Template
+	// MaxLineBytes caps one source line (default core.DefaultMaxLineBytes);
+	// longer lines are truncated at the cap and counted, as in
+	// core.ReadMessagesOpts.
+	MaxLineBytes int
+	// AfterLine, when non-nil, is called by the consumer after each
+	// processed line with its source line number. It is the
+	// instrumentation and fault-injection hook the kill-and-recover tests
+	// use to hard-stop the engine at exact stream positions.
+	AfterLine func(lineNo int64)
+	// Now is the engine clock (checkpoint age, breaker cooldowns).
+	// Defaults to time.Now; tests inject a fake.
+	Now func() time.Time
+	// CheckpointWrap, when non-nil, wraps the checkpoint file writer —
+	// the fault-injection seam for torn-write testing
+	// (faultinject.NewTornWriter).
+	CheckpointWrap func(io.Writer) io.Writer
+}
+
+// Stats is a point-in-time health snapshot of an Engine. All counters are
+// cumulative across crash recoveries (they are checkpointed), except
+// Checkpoints/CheckpointErrors which count this process's lifetime.
+type Stats struct {
+	// LinesIn is every line taken from the source and accounted for:
+	// Processed + Shed + RingDepth.
+	LinesIn int64
+	// Processed counts lines the consumer fully handled.
+	Processed int64
+	// Matched counts lines covered by a known template (including lines
+	// matched from the unmatched buffer after a retrain).
+	Matched int64
+	// Shed counts lines dropped at admission under LoadShed.
+	Shed int64
+	// Empty counts lines with no tokens (whitespace-only content).
+	Empty int64
+	// Oversized counts lines truncated at MaxLineBytes.
+	Oversized int64
+	// Unparsed counts unmatched lines that retraining could not cover
+	// (below support, or retrain batch dropped after a failure).
+	Unparsed int64
+	// UnmatchedDropped counts buffered lines shed at the MaxUnmatched cap.
+	UnmatchedDropped int64
+	// UnmatchedBuffered is the current unmatched-buffer depth.
+	UnmatchedBuffered int
+	// Retrains and RetrainFailures count retrain outcomes.
+	Retrains        int64
+	RetrainFailures int64
+	// Checkpoints and CheckpointErrors count checkpoint saves this
+	// process attempted.
+	Checkpoints      int64
+	CheckpointErrors int64
+	// CheckpointAge is the time since the last successful save in this
+	// process; −1 when none has happened yet.
+	CheckpointAge time.Duration
+	// Offset is the source line number of the last processed line.
+	Offset int64
+	// Templates is the current template-set size.
+	Templates int
+	// Breaker is the retrain breaker state: "closed", "open", "half-open".
+	Breaker string
+	// RingDepth and RingHighWater report the admission ring's current and
+	// maximum occupancy — memory is bounded by RingCapacity regardless of
+	// how far the producer runs ahead.
+	RingDepth     int
+	RingHighWater int
+	// RecoveredFrom reports which checkpoint generation the engine
+	// restored at startup: "", "current" or "previous".
+	RecoveredFrom string
+}
+
+// Digest is the canonical digest of an engine's observable outcome: the
+// SHA-256 over the sorted rendered templates with their event counts. Two
+// runs that learned the same template set and attributed the same number of
+// lines to each event have equal digests regardless of template naming or
+// discovery order — the quantity the kill-and-recover equivalence tests
+// compare.
+func Digest(templates []core.Template, counts []int64) string {
+	rows := make([]string, len(templates))
+	for i, t := range templates {
+		c := int64(0)
+		if i < len(counts) {
+			c = counts[i]
+		}
+		rows[i] = t.String() + "\t" + strconv.FormatInt(c, 10)
+	}
+	sort.Strings(rows)
+	h := sha256.New()
+	for _, r := range rows {
+		h.Write([]byte(r))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Crash-recovery smoke: kill logstreamd at an exact stream position (a
+# simulated crash writes no final checkpoint), resume it over the same
+# source, and require the resumed run's canonical digest to equal an
+# uninterrupted run's. A second leg tears a checkpoint write mid-stream
+# (-torn-checkpoint-limit) before the kill, forcing the resumed run to fall
+# back to the previous checkpoint generation — and still converge.
+#
+# Run from the repository root (scripts/verify.sh does). Exits non-zero on
+# any divergence.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DATASET="${1:-Zookeeper}"
+LINES="${2:-5000}"
+KILL="${3:-2345}"
+
+# The torn leg tears the third checkpoint save; the kill must land after it
+# (checkpoints every 700 lines) or there is nothing to fall back from.
+if [ "$KILL" -le 2100 ] || [ "$LINES" -le "$KILL" ]; then
+	echo "crash_smoke: KILL must be in (2100, LINES)" >&2
+	exit 2
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+echo "==> building logstreamd"
+go build -o "$work/logstreamd" ./cmd/logstreamd
+
+common="-dataset $DATASET -lines $LINES -checkpoint-every 700 -retrain-batch 64 -stats=false"
+
+echo "==> uninterrupted run ($DATASET, $LINES lines)"
+want="$("$work/logstreamd" $common -checkpoint-dir "$work/clean" -digest)"
+
+echo "==> crash run (kill after line $KILL, no checkpoint)"
+status=0
+"$work/logstreamd" $common -checkpoint-dir "$work/crash" -kill-after-lines "$KILL" || status=$?
+if [ "$status" != 3 ]; then
+	echo "crash_smoke: FAIL: simulated crash exited $status, want 3" >&2
+	exit 1
+fi
+
+echo "==> resumed run"
+got="$("$work/logstreamd" $common -checkpoint-dir "$work/crash" -digest)"
+if [ "$got" != "$want" ]; then
+	echo "crash_smoke: FAIL: resumed digest $got != uninterrupted $want" >&2
+	exit 1
+fi
+
+echo "==> torn-checkpoint crash run (third checkpoint save torn at 50 bytes)"
+status=0
+"$work/logstreamd" $common -checkpoint-dir "$work/torn" \
+	-torn-checkpoint-at 3 -kill-after-lines "$KILL" || status=$?
+if [ "$status" != 3 ]; then
+	echo "crash_smoke: FAIL: torn crash exited $status, want 3" >&2
+	exit 1
+fi
+
+echo "==> resumed run after torn checkpoint (expect fallback to previous generation)"
+got="$("$work/logstreamd" $common -checkpoint-dir "$work/torn" -digest 2>"$work/torn.log")"
+if ! grep -q "restored previous checkpoint generation" "$work/torn.log"; then
+	# The tear lands inside the very first generation only when the kill
+	# precedes the second save; with these defaults it never does, so a
+	# missing fallback means the detection failed.
+	echo "crash_smoke: FAIL: resumed run did not fall back to the previous generation:" >&2
+	cat "$work/torn.log" >&2
+	exit 1
+fi
+if [ "$got" != "$want" ]; then
+	echo "crash_smoke: FAIL: torn-recovery digest $got != uninterrupted $want" >&2
+	exit 1
+fi
+
+echo "crash_smoke: OK (digest $want)"

@@ -5,11 +5,13 @@
 # Modes:
 #
 #   scripts/verify.sh          full: build + vet + race tests + golden-digest
-#                              check + a 5s fuzz smoke pass per fuzz target
-#   scripts/verify.sh -short   fast: build + vet + `go test -short -race`
-#                              (skips the long-running suites and the fuzz
-#                              smokes; the conformance differential matrix
-#                              still runs at reduced breadth)
+#                              check + crash-recovery smoke + a 5s fuzz
+#                              smoke pass per fuzz target
+#   scripts/verify.sh -short   fast: build + vet + `go test -short -race` +
+#                              a reduced crash-recovery smoke (skips the
+#                              long-running suites and the fuzz smokes; the
+#                              conformance differential matrix still runs
+#                              at reduced breadth)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -33,12 +35,17 @@ go vet ./...
 if [ "$short" = 1 ]; then
 	echo "==> go test -short -race ./..."
 	go test -short -race ./...
+	echo "==> crash-recovery smoke (reduced)"
+	sh scripts/crash_smoke.sh Zookeeper 3000 2345
 	echo "verify: OK (short)"
 	exit 0
 fi
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> crash-recovery smoke (scripts/crash_smoke.sh)"
+sh scripts/crash_smoke.sh
 
 echo "==> golden-digest check (cmd/conformgen -check)"
 go run ./cmd/conformgen -check >/dev/null
