@@ -13,11 +13,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"logparse/internal/experiments"
 	"logparse/internal/gen"
+	"logparse/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func run() error {
 		maxSize = flag.Int("max-size", 40000, "largest size in Fig. 2/3 sweeps")
 		plot    = flag.Bool("plot", false, "render Fig. 2 panels as ASCII log-log charts")
 		parsers = flag.String("parsers", "", "comma-separated parser subset for -fig2/-fig3 (default all)")
+		report  = flag.String("report", "", "write a JSON run report (stage timings, spans, metrics) to this file (- = stderr)")
 	)
 	flag.Parse()
 	if !*table1 && !*table2 && !*fig2 && !*fig3 && !*tune {
@@ -48,7 +51,11 @@ func run() error {
 		return fmt.Errorf("select at least one of -table1, -table2, -fig2, -fig3, -tune")
 	}
 
-	opts := experiments.Options{Sample: *sample, Runs: *runs, Seed: *seed}
+	var tel *telemetry.Handle
+	if *report != "" {
+		tel = telemetry.New()
+	}
+	opts := experiments.Options{Sample: *sample, Runs: *runs, Seed: *seed, Telemetry: tel}
 	datasets := gen.Names
 	if *dataset != "" {
 		datasets = []string{*dataset}
@@ -121,6 +128,20 @@ func run() error {
 				fmt.Printf("  k=%-4.0f F=%.3f\n", t.Param, t.F)
 			}
 			fmt.Printf("  best: %.0f\n", bestK)
+		}
+	}
+	if *report != "" {
+		out := io.Writer(os.Stderr)
+		if *report != "-" {
+			f, err := os.Create(*report)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := tel.Report("logeval").WriteJSON(out); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -51,6 +51,7 @@ func run() error {
 		retries    = flag.Int("retries", 0, "retry a tier this many times on transient failures before degrading")
 		fallback   = flag.String("fallback", "", "comma-separated fallback algorithms tried in order when the primary fails (e.g. IPLoM,SLCT)")
 		strict     = flag.Bool("strict", false, "fail on corrupt/ambiguous/over-long input lines instead of skipping and counting them")
+		report     = flag.String("report", "", "write a JSON run report (stage timings, spans, metrics) to this file (- = stderr)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -84,12 +85,17 @@ func run() error {
 		msgs = logparse.Preprocess(*preprocess, msgs)
 	}
 
+	var tel *logparse.Telemetry
+	if *report != "" {
+		tel = logparse.NewTelemetry()
+	}
 	opts := logparse.Options{
 		Seed:        *seed,
 		Support:     *support,
 		SupportFrac: *frac,
 		NumGroups:   *groups,
 		Threshold:   *threshold,
+		Telemetry:   tel,
 	}
 	parser, err := logparse.NewParser(*parserName, opts)
 	if err != nil {
@@ -106,7 +112,7 @@ func run() error {
 			}
 		}
 		chain, err := logparse.NewRobustParser(algorithms, opts,
-			logparse.RobustPolicy{Timeout: *timeout, MaxRetries: *retries})
+			logparse.RobustPolicy{Timeout: *timeout, MaxRetries: *retries, Telemetry: tel})
 		if err != nil {
 			return err
 		}
@@ -165,7 +171,27 @@ func run() error {
 		}
 		fmt.Fprintf(os.Stderr, "logparse: accuracy vs ground truth: %s\n", acc)
 	}
+	if *report != "" {
+		if err := writeReport(tel, "logparse", *report); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeReport emits the telemetry run report as JSON to path ("-" = stderr,
+// keeping stdout free for the events output).
+func writeReport(tel *logparse.Telemetry, tool, path string) error {
+	out := io.Writer(os.Stderr)
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return tel.Report(tool).WriteJSON(out)
 }
 
 // runStream runs the bounded-memory two-pass SLCT over a file on disk.

@@ -33,9 +33,13 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -82,6 +86,10 @@ func run() (int, error) {
 
 		digest    = flag.Bool("digest", false, "print the canonical digest of the final template set and counts")
 		showStats = flag.Bool("stats", true, "print the stats summary on exit")
+
+		debugAddr     = flag.String("debug-addr", "", "serve /debug/vars (stream.* metrics) and /debug/pprof on this address (e.g. :6060; empty = off)")
+		debugAddrFile = flag.String("debug-addr-file", "", "write the bound debug address to this file (useful with -debug-addr :0)")
+		linger        = flag.Bool("linger", false, "after the source drains, keep the debug server running until SIGINT")
 	)
 	flag.Parse()
 
@@ -114,6 +122,14 @@ func run() (int, error) {
 		return 2, err
 	}
 
+	var tel *logparse.Telemetry
+	if *debugAddr != "" {
+		tel = logparse.NewTelemetry()
+		if err := serveDebug(*debugAddr, *debugAddrFile, tel); err != nil {
+			return 1, err
+		}
+	}
+
 	cfg := stream.Config{
 		Open:            open,
 		CheckpointDir:   *ckptDir,
@@ -123,6 +139,7 @@ func run() (int, error) {
 		RetrainBatch:    *retrainBatch,
 		MaxUnmatched:    *maxUnmatched,
 		Retrainer:       retrainer,
+		Telemetry:       tel,
 	}
 	if *tornAt > 0 {
 		saves := 0
@@ -162,10 +179,12 @@ func run() (int, error) {
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigCh)
 	interrupted := false
+	sigDone := make(chan struct{})
 	go func() {
 		if _, ok := <-sigCh; ok {
 			interrupted = true
 			cancel()
+			close(sigDone)
 		}
 	}()
 
@@ -191,7 +210,35 @@ func run() (int, error) {
 	if *digest {
 		fmt.Println(eng.Digest())
 	}
+	if *linger && !interrupted && *debugAddr != "" {
+		fmt.Fprintln(os.Stderr, "logstreamd: source drained; debug server still serving (SIGINT to exit)")
+		<-sigDone
+	}
 	return 0, nil
+}
+
+// serveDebug binds addr, publishes the telemetry handle as the expvar
+// "logstream" variable and serves /debug/vars plus /debug/pprof on the
+// default mux in the background. When addrFile is set, the bound address is
+// written there, so scripts can use "-debug-addr :0" and discover the port.
+func serveDebug(addr, addrFile string, tel *logparse.Telemetry) error {
+	expvar.Publish("logstream", tel.Var())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug server: %w", err)
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "logstreamd: debug server on http://%s/debug/vars\n", ln.Addr())
+	go func() {
+		// The server lives for the process: ignore the shutdown error.
+		_ = http.Serve(ln, nil)
+	}()
+	return nil
 }
 
 // buildSource returns a re-openable reader over the input file or an

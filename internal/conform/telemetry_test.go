@@ -1,0 +1,76 @@
+package conform
+
+import (
+	"strings"
+	"testing"
+
+	"logparse/internal/experiments"
+	"logparse/internal/telemetry"
+)
+
+// TestTelemetryOnOffConformance is the telemetry conformance cell:
+// instrumentation must be a behavioral no-op. For every parser on two
+// datasets, the canonical digest of a parse with an enabled telemetry
+// handle must equal the digest of the identical parse with telemetry off —
+// and the enabled run must actually have recorded its counters and stage
+// spans, so the equality is not vacuous.
+func TestTelemetryOnOffConformance(t *testing.T) {
+	datasets := map[string]bool{"HDFS": true, "Zookeeper": true}
+	for _, c := range Cases() {
+		if !datasets[c.Dataset] {
+			continue
+		}
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			t.Parallel()
+			msgs := c.Messages()
+			const algSeed = 1
+
+			off, err := experiments.FactoryWith(c.Parser, c.Dataset, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tel := telemetry.New()
+			on, err := experiments.FactoryWith(c.Parser, c.Dataset, tel)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			resOff, err := off(algSeed).Parse(msgs)
+			if err != nil {
+				t.Fatalf("telemetry-off parse: %v", err)
+			}
+			resOn, err := on(algSeed).Parse(msgs)
+			if err != nil {
+				t.Fatalf("telemetry-on parse: %v", err)
+			}
+
+			dOff, dOn := Digest(resOff.Canonical()), Digest(resOn.Canonical())
+			if dOff != dOn {
+				t.Errorf("canonical digest differs with telemetry on: off=%s on=%s", dOff, dOn)
+			}
+
+			// The equality only means something if instrumentation ran.
+			alg := strings.ToLower(c.Parser)
+			snap := tel.Snapshot()
+			if got := snap.Counters["parse."+alg+".calls"]; got != 1 {
+				t.Errorf("parse.%s.calls = %d, want 1", alg, got)
+			}
+			if got := snap.Counters["parse."+alg+".lines"]; got != uint64(len(msgs)) {
+				t.Errorf("parse.%s.lines = %d, want %d", alg, got, len(msgs))
+			}
+			if got := snap.Histograms["parse."+alg+".seconds"].Count; got != 1 {
+				t.Errorf("parse.%s.seconds count = %d, want 1", alg, got)
+			}
+			stages := tel.StageTimings()
+			if len(stages) < 2 {
+				t.Errorf("expected root + stage spans, got %v", stages)
+			}
+			for _, st := range stages {
+				if !strings.HasPrefix(st.Path, alg+".parse") {
+					t.Errorf("unexpected stage path %q", st.Path)
+				}
+			}
+		})
+	}
+}

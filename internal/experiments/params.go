@@ -14,6 +14,7 @@ import (
 	"logparse/internal/parsers/lke"
 	"logparse/internal/parsers/logsig"
 	"logparse/internal/parsers/slct"
+	"logparse/internal/telemetry"
 )
 
 // ParserNames lists the four studied parsers in the paper's order.
@@ -46,6 +47,14 @@ const lkeDefaultCap = 4000
 // Factory returns the eval.ParserFactory for a parser on a dataset, with
 // the dataset's tuned parameters baked in.
 func Factory(parser, dataset string) (eval.ParserFactory, error) {
+	return FactoryWith(parser, dataset, nil)
+}
+
+// FactoryWith is Factory with a telemetry handle threaded into the built
+// parsers (nil disables instrumentation — the Factory behaviour). The
+// conformance suite uses it to assert parse results are identical with
+// telemetry on and off.
+func FactoryWith(parser, dataset string, tel *telemetry.Handle) (eval.ParserFactory, error) {
 	p, ok := tuned[dataset]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown dataset %q", dataset)
@@ -53,11 +62,11 @@ func Factory(parser, dataset string) (eval.ParserFactory, error) {
 	switch parser {
 	case "SLCT":
 		return func(int64) core.Parser {
-			return slct.New(slct.Options{SupportFrac: p.slctSupportFrac})
+			return slct.New(slct.Options{SupportFrac: p.slctSupportFrac, Telemetry: tel})
 		}, nil
 	case "IPLoM":
 		return func(int64) core.Parser {
-			return iplom.New(iplom.Options{})
+			return iplom.New(iplom.Options{Telemetry: tel})
 		}, nil
 	case "LKE":
 		return func(seed int64) core.Parser {
@@ -66,11 +75,12 @@ func Factory(parser, dataset string) (eval.ParserFactory, error) {
 				SplitRatio:  p.lkeSplitRatio,
 				Threshold:   p.lkeThreshold,
 				MaxMessages: lkeDefaultCap,
+				Telemetry:   tel,
 			})
 		}, nil
 	case "LogSig":
 		return func(seed int64) core.Parser {
-			return logsig.New(logsig.Options{NumGroups: p.logsigGroups, Seed: seed})
+			return logsig.New(logsig.Options{NumGroups: p.logsigGroups, Seed: seed, Telemetry: tel})
 		}, nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown parser %q", parser)

@@ -6,6 +6,7 @@ import (
 
 	"logparse/internal/eval"
 	"logparse/internal/gen"
+	"logparse/internal/telemetry"
 )
 
 // Options configures the experiment drivers. The zero value is usable and
@@ -18,6 +19,10 @@ type Options struct {
 	Runs int
 	// Seed seeds dataset generation.
 	Seed int64
+	// Telemetry, when non-nil, instruments every parser the drivers build,
+	// so a whole experiment run accumulates stage timings and parse
+	// counters into one registry (cmd/logeval -report).
+	Telemetry *telemetry.Handle
 }
 
 func (o Options) withDefaults() Options {
@@ -88,7 +93,7 @@ func table2Cell(parser, dataset string, opts Options) (Table2Cell, error) {
 	if err != nil {
 		return Table2Cell{}, err
 	}
-	factory, err := Factory(parser, dataset)
+	factory, err := FactoryWith(parser, dataset, opts.Telemetry)
 	if err != nil {
 		return Table2Cell{}, err
 	}
@@ -172,7 +177,7 @@ func Fig2Parsers(dataset string, parsers []string, sizes []int, opts Options) ([
 	}
 	var points []eval.EfficiencyPoint
 	for _, parser := range parsers {
-		factory, err := Factory(parser, dataset)
+		factory, err := FactoryWith(parser, dataset, opts.Telemetry)
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +232,7 @@ func Fig3Parsers(dataset string, parsers []string, sizes []int, opts Options) ([
 	}
 	var rows []eval.AccuracyResult
 	for _, parser := range parsers {
-		factory, err := Factory(parser, dataset)
+		factory, err := FactoryWith(parser, dataset, opts.Telemetry)
 		if err != nil {
 			return nil, err
 		}

@@ -15,8 +15,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"logparse/internal/core"
+	"logparse/internal/telemetry"
 )
 
 // Options are IPLoM's thresholds, named after the original paper.
@@ -42,6 +44,11 @@ type Options struct {
 	// (every line nearly distinct) and is never chosen as the split
 	// position. Defaults to 0.5.
 	VariableRatio float64
+	// Telemetry, when non-nil, records per-stage spans (size partition,
+	// recursive position/bijection partitioning, template generation) and
+	// parse counters. Instrumentation is behavior-neutral and, when nil,
+	// free.
+	Telemetry *telemetry.Handle
 	// MappingRatio bounds the positions eligible as step 3's mapping pair:
 	// a position qualifies only when its unique-token count is at most
 	// MappingRatio×partitionSize. Event-subtype vocabularies are small, so
@@ -116,9 +123,20 @@ func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.Pa
 	if len(msgs) == 0 {
 		return nil, core.ErrNoMessages
 	}
+	tel := p.opts.Telemetry
+	tel.Counter("parse.iplom.calls").Inc()
+	tel.Counter("parse.iplom.lines").Add(uint64(len(msgs)))
+	sp := tel.SpanFrom(ctx, "iplom.parse")
+	start := time.Now()
+	defer func() {
+		sp.End()
+		tel.Histogram("parse.iplom.seconds", telemetry.DurationBuckets).
+			Observe(time.Since(start).Seconds())
+	}()
 	var outliers []int
 
 	// Step 1: partition by event size (token count).
+	stage := sp.Child("partition-size")
 	byLen := make(map[int][]int)
 	for i := range msgs {
 		l := len(msgs[i].Tokens)
@@ -129,8 +147,10 @@ func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.Pa
 		lengths = append(lengths, l)
 	}
 	sort.Ints(lengths)
+	stage.End()
 
 	minSize := int(p.opts.FileSupport * float64(len(msgs)))
+	stage = sp.Child("partition-recursive")
 	var leaves []partition
 	for _, l := range lengths {
 		if err := ctx.Err(); err != nil {
@@ -168,8 +188,11 @@ func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.Pa
 			}
 		}
 	}
+	stage.End()
 
 	// Step 4: template generation.
+	stage = sp.Child("templates")
+	defer stage.End()
 	res := &core.ParseResult{Assignment: make([]int, len(msgs))}
 	for i := range res.Assignment {
 		res.Assignment[i] = core.OutlierID

@@ -23,9 +23,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"logparse/internal/cluster"
 	"logparse/internal/core"
+	"logparse/internal/telemetry"
 )
 
 // Options configures LKE.
@@ -48,6 +50,11 @@ type Options struct {
 	// on an input it cannot finish in reasonable time; Parse returns
 	// ErrTooLarge beyond it. 0 means no guard.
 	MaxMessages int
+	// Telemetry, when non-nil, records per-stage spans (threshold
+	// selection, Θ(n²) clustering, splitting, template generation) and
+	// parse counters. Instrumentation is behavior-neutral and, when nil,
+	// free.
+	Telemetry *telemetry.Handle
 }
 
 // ErrTooLarge is returned when the input exceeds Options.MaxMessages. The
@@ -110,15 +117,28 @@ func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.Pa
 	if p.opts.MaxMessages > 0 && len(msgs) > p.opts.MaxMessages {
 		return nil, fmt.Errorf("%w: %d messages > limit %d", ErrTooLarge, len(msgs), p.opts.MaxMessages)
 	}
+	tel := p.opts.Telemetry
+	tel.Counter("parse.lke.calls").Inc()
+	tel.Counter("parse.lke.lines").Add(uint64(len(msgs)))
+	sp := tel.SpanFrom(ctx, "lke.parse")
+	start := time.Now()
+	defer func() {
+		sp.End()
+		tel.Histogram("parse.lke.seconds", telemetry.DurationBuckets).
+			Observe(time.Since(start).Seconds())
+	}()
 	n := len(msgs)
+	stage := sp.Child("threshold")
 	threshold := p.opts.Threshold
 	if threshold <= 0 {
 		threshold = p.autoThreshold(msgs)
 	}
+	stage.End()
 
 	// Step 1: aggressive single-link clustering — any pair below the
 	// threshold merges the two clusters (§IV-B discusses how this strategy
 	// collapses HPC into one cluster).
+	stage = sp.Child("cluster")
 	uf := cluster.NewUnionFind(n)
 	sinceCheck := 0
 	for i := 0; i < n; i++ {
@@ -139,13 +159,19 @@ func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.Pa
 		}
 	}
 
+	stage.End()
+
 	// Step 2: cluster splitting by heuristic rules.
+	stage = sp.Child("split")
 	var final [][]int
 	for _, comp := range uf.Components() {
 		final = append(final, p.split(comp, msgs, 0)...)
 	}
+	stage.End()
 
 	// Step 3: template generation.
+	stage = sp.Child("templates")
+	defer stage.End()
 	res := &core.ParseResult{Assignment: make([]int, n)}
 	for idx, members := range final {
 		seqs := make([][]string, len(members))

@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"logparse/internal/core"
+	"logparse/internal/telemetry"
 )
 
 // Options configures LogSig.
@@ -41,6 +43,10 @@ type Options struct {
 	// search converges to local optima, so restarts trade time for
 	// stability. Defaults to 1 (the original single-run behaviour).
 	Restarts int
+	// Telemetry, when non-nil, records per-stage spans (word-pair
+	// generation, local search, template generation) and parse counters.
+	// Instrumentation is behavior-neutral and, when nil, free.
+	Telemetry *telemetry.Handle
 }
 
 // Parser is a configured LogSig instance, stateless across Parse calls.
@@ -94,15 +100,28 @@ func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.Pa
 		k = len(msgs)
 	}
 	n := len(msgs)
+	tel := p.opts.Telemetry
+	tel.Counter("parse.logsig.calls").Inc()
+	tel.Counter("parse.logsig.lines").Add(uint64(n))
+	sp := tel.SpanFrom(ctx, "logsig.parse")
+	start := time.Now()
+	defer func() {
+		sp.End()
+		tel.Histogram("parse.logsig.seconds", telemetry.DurationBuckets).
+			Observe(time.Since(start).Seconds())
+	}()
 
 	// Step 1: word pairs per message.
+	stage := sp.Child("wordpairs")
 	pairsOf := make([][]pair, n)
 	for i := range msgs {
 		pairsOf[i] = wordPairs(msgs[i].Tokens)
 	}
+	stage.End()
 
 	// Step 2: local search, with restarts keeping the highest-potential
 	// solution.
+	stage = sp.Child("search")
 	var group, size []int
 	bestPotential := -1.0
 	for restart := 0; restart < p.opts.Restarts; restart++ {
@@ -116,8 +135,11 @@ func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.Pa
 			group, size = g, s
 		}
 	}
+	stage.End()
 
 	// Step 3: template generation per non-empty group.
+	stage = sp.Child("templates")
+	defer stage.End()
 	res := &core.ParseResult{Assignment: make([]int, n)}
 	groupToTemplate := make([]int, k)
 	for g := 0; g < k; g++ {

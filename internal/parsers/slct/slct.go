@@ -13,8 +13,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"logparse/internal/core"
+	"logparse/internal/telemetry"
 )
 
 // Options configures SLCT. The single important knob is the support
@@ -27,6 +29,10 @@ type Options struct {
 	// SupportFrac expresses support as a fraction of the input size; used
 	// when Support is 0. Defaults to DefaultSupportFrac when both are 0.
 	SupportFrac float64
+	// Telemetry, when non-nil, records per-stage spans (vocab pass,
+	// candidate pass, selection) and parse counters. Instrumentation is
+	// behavior-neutral and, when nil, free.
+	Telemetry *telemetry.Handle
 }
 
 // DefaultSupportFrac is the relative support used when Options is zero.
@@ -85,9 +91,20 @@ func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.Pa
 	if len(msgs) == 0 {
 		return nil, core.ErrNoMessages
 	}
+	tel := p.opts.Telemetry
+	tel.Counter("parse.slct.calls").Inc()
+	tel.Counter("parse.slct.lines").Add(uint64(len(msgs)))
+	sp := tel.SpanFrom(ctx, "slct.parse")
+	start := time.Now()
+	defer func() {
+		sp.End()
+		tel.Histogram("parse.slct.seconds", telemetry.DurationBuckets).
+			Observe(time.Since(start).Seconds())
+	}()
 	support := p.support(len(msgs))
 
 	// Pass 1: word-position vocabulary.
+	stage := sp.Child("vocab")
 	vocab := make(map[posWord]int)
 	for i := range msgs {
 		if i%cancelCheckStride == 0 {
@@ -105,9 +122,11 @@ func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.Pa
 			frequent[pw] = true
 		}
 	}
+	stage.End()
 
 	// Pass 2: cluster candidates keyed by the ordered frequent pairs a
 	// line contains.
+	stage = sp.Child("candidates")
 	type candidate struct {
 		pairs   []posWord
 		members []int
@@ -143,8 +162,11 @@ func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.Pa
 		}
 		c.members = append(c.members, i)
 	}
+	stage.End()
 
 	// Select clusters with enough support, in deterministic order.
+	stage = sp.Child("templates")
+	defer stage.End()
 	selected := make([]string, 0, len(candidates))
 	for key, c := range candidates {
 		if len(c.members) >= support {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"logparse/internal/core"
+	"logparse/internal/telemetry"
 )
 
 // Policy configures deadlines and the retry schedule of a robust Parser.
@@ -52,6 +53,11 @@ type Policy struct {
 	JitterFrac float64
 	// Seed drives the jitter RNG (deterministic schedules in tests).
 	Seed int64
+	// Telemetry, when non-nil, records chain counters (attempts, retries,
+	// panics, timeouts, degradations, per-tier serves), per-attempt
+	// duration histograms, and a span tree per parse whose tier-attempt
+	// children nest the tier parser's own stage spans. Nil is free.
+	Telemetry *telemetry.Handle
 }
 
 // withDefaults resolves zero values to the documented defaults.
@@ -111,6 +117,19 @@ type Parser struct {
 	timeouts  atomic.Uint64
 	retries   atomic.Uint64
 	exhausted atomic.Uint64
+
+	// Pre-resolved telemetry instruments (all nil when telemetry is off,
+	// in which case every call below no-ops without allocating).
+	tel        *telemetry.Handle
+	mAttempts  *telemetry.Counter
+	mRetries   *telemetry.Counter
+	mPanics    *telemetry.Counter
+	mTimeouts  *telemetry.Counter
+	mDegraded  *telemetry.Counter
+	mExhausted *telemetry.Counter
+	mServed    []*telemetry.Counter
+	hAttempt   *telemetry.Histogram
+	spanNames  []string // "tier.<name>" per tier, precomputed
 }
 
 var _ core.Parser = (*Parser)(nil)
@@ -131,12 +150,27 @@ func New(pol Policy, tiers ...Tier) (*Parser, error) {
 		ts[i] = t
 	}
 	pol = pol.withDefaults()
-	return &Parser{
+	p := &Parser{
 		tiers:  ts,
 		pol:    pol,
 		rng:    newLockedRand(pol.Seed),
 		served: make([]atomic.Uint64, len(ts)),
-	}, nil
+	}
+	p.tel = pol.Telemetry
+	p.mAttempts = p.tel.Counter("robust.attempts")
+	p.mRetries = p.tel.Counter("robust.retries")
+	p.mPanics = p.tel.Counter("robust.panics")
+	p.mTimeouts = p.tel.Counter("robust.timeouts")
+	p.mDegraded = p.tel.Counter("robust.degraded")
+	p.mExhausted = p.tel.Counter("robust.exhausted")
+	p.mServed = make([]*telemetry.Counter, len(ts))
+	p.spanNames = make([]string, len(ts))
+	for i, t := range ts {
+		p.mServed[i] = p.tel.Counter("robust.served." + t.Name)
+		p.spanNames[i] = "tier." + t.Name
+	}
+	p.hAttempt = p.tel.Histogram("robust.tier.seconds", telemetry.DurationBuckets)
+	return p, nil
 }
 
 // Wrap is New for plain parsers: primary first, then fallbacks.
@@ -199,14 +233,20 @@ func (p *Parser) ParseAttributed(ctx context.Context, msgs []core.LogMessage) (*
 	if len(msgs) == 0 {
 		return nil, att, core.ErrNoMessages
 	}
+	sp := p.tel.SpanFrom(ctx, "robust.parse")
+	defer sp.End()
 	for ti := range p.tiers {
 		tier := p.tiers[ti]
 		for try := 0; ; try++ {
 			if err := ctx.Err(); err != nil {
 				return nil, att, err
 			}
+			p.mAttempts.Inc()
+			asp := sp.Child(p.spanNames[ti])
 			start := time.Now()
-			res, err := p.runTier(ctx, tier, msgs)
+			res, err := p.runTier(telemetry.ContextWith(ctx, asp), tier, msgs)
+			asp.End()
+			p.hAttempt.Observe(time.Since(start).Seconds())
 			if err == nil {
 				if verr := res.Validate(len(msgs)); verr != nil {
 					// A structurally invalid result is as unusable as an
@@ -217,6 +257,10 @@ func (p *Parser) ParseAttributed(ctx context.Context, msgs []core.LogMessage) (*
 			if err == nil {
 				att.Tier, att.TierName, att.Degraded = ti, tier.Name, ti > 0
 				p.served[ti].Add(1)
+				p.mServed[ti].Inc()
+				if ti > 0 {
+					p.mDegraded.Inc()
+				}
 				return res, att, nil
 			}
 			att.Attempts = append(att.Attempts, Attempt{
@@ -225,10 +269,12 @@ func (p *Parser) ParseAttributed(ctx context.Context, msgs []core.LogMessage) (*
 			var pe *PanicError
 			if errors.As(err, &pe) {
 				p.panics.Add(1)
+				p.mPanics.Inc()
 			}
 			var te *TimeoutError
 			if errors.As(err, &te) {
 				p.timeouts.Add(1)
+				p.mTimeouts.Inc()
 			}
 			if cerr := ctx.Err(); cerr != nil {
 				// The caller's context ended: abort the whole chain rather
@@ -240,6 +286,7 @@ func (p *Parser) ParseAttributed(ctx context.Context, msgs []core.LogMessage) (*
 					return nil, att, serr
 				}
 				p.retries.Add(1)
+				p.mRetries.Inc()
 				att.Retries++
 				continue
 			}
@@ -247,6 +294,7 @@ func (p *Parser) ParseAttributed(ctx context.Context, msgs []core.LogMessage) (*
 		}
 	}
 	p.exhausted.Add(1)
+	p.mExhausted.Inc()
 	return nil, att, &ChainError{Attempts: att.Attempts}
 }
 

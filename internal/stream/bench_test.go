@@ -2,31 +2,54 @@ package stream
 
 import (
 	"context"
+	"io"
+	"sync/atomic"
 	"testing"
+
+	"logparse/internal/telemetry"
 )
 
+// benchCountingWriter tallies checkpoint bytes written during a benchmark
+// run through the Config.CheckpointWrap seam.
+type benchCountingWriter struct {
+	w     io.Writer
+	total *atomic.Int64
+}
+
+func (cw *benchCountingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.total.Add(int64(n))
+	return n, err
+}
+
 // benchIngest drives one full engine run over n synthetic lines and reports
-// lines/sec. checkpointEvery < 0 disables periodic checkpoints, isolating
-// matching throughput from checkpoint overhead.
+// lines/sec plus checkpoint bytes per run. Engine construction (checkpoint
+// directory scan, restore, retrainer setup) happens outside the timer: the
+// benchmark measures ingestion, not setup. checkpointEvery < 0 disables
+// periodic checkpoints, isolating matching throughput from checkpoint
+// overhead.
 func benchIngest(b *testing.B, n, checkpointEvery int) {
 	lines := synthLines(n, 99)
+	var ckptBytes atomic.Int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		dir := b.TempDir()
-		b.StartTimer()
 		e, err := New(Config{
 			Open:            memOpen(lines),
-			CheckpointDir:   dir,
+			CheckpointDir:   b.TempDir(),
 			RingCapacity:    1024,
 			CheckpointEvery: checkpointEvery,
 			RetrainBatch:    64,
 			Retrainer:       &groupMiner{},
+			CheckpointWrap: func(w io.Writer) io.Writer {
+				return &benchCountingWriter{w: w, total: &ckptBytes}
+			},
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.StartTimer()
 		if err := e.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
@@ -36,14 +59,49 @@ func benchIngest(b *testing.B, n, checkpointEvery int) {
 	if elapsed > 0 {
 		b.ReportMetric(float64(n*b.N)/elapsed, "lines/sec")
 	}
+	b.ReportMetric(float64(ckptBytes.Load())/float64(b.N), "ckpt-B/op")
 }
 
 // BenchmarkStreamIngest measures end-to-end ingestion throughput: matching,
 // retraining and the final checkpoint, with and without the periodic
-// checkpoint cadence. Comparing the two isolates checkpoint overhead.
+// checkpoint cadence. Comparing the two isolates checkpoint overhead, and
+// ckpt-B/op shows the durability cost in bytes each cadence pays.
 func BenchmarkStreamIngest(b *testing.B) {
 	const n = 20000
 	b.Run("checkpoint-every-5000", func(b *testing.B) { benchIngest(b, n, 5000) })
 	b.Run("checkpoint-every-500", func(b *testing.B) { benchIngest(b, n, 500) })
 	b.Run("no-periodic-checkpoint", func(b *testing.B) { benchIngest(b, n, -1) })
+}
+
+// BenchmarkStreamIngestTelemetry is BenchmarkStreamIngest's telemetry-on
+// twin at the default cadence; comparing lines/sec against the plain run
+// bounds the instrumentation overhead on the per-line hot path.
+func BenchmarkStreamIngestTelemetry(b *testing.B) {
+	const n = 20000
+	lines := synthLines(n, 99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := New(Config{
+			Open:            memOpen(lines),
+			CheckpointDir:   b.TempDir(),
+			RingCapacity:    1024,
+			CheckpointEvery: 5000,
+			RetrainBatch:    64,
+			Retrainer:       &groupMiner{},
+			Telemetry:       telemetry.New(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := e.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(n*b.N)/elapsed, "lines/sec")
+	}
 }

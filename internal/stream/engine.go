@@ -32,6 +32,7 @@ type Engine struct {
 	cfg   Config
 	store *Store
 	now   func() time.Time
+	tm    engineTelemetry
 
 	mu        sync.Mutex // guards everything below
 	matcher   *match.Matcher
@@ -100,6 +101,20 @@ func New(cfg Config) (*Engine, error) {
 		store: store,
 		now:   cfg.Now,
 		index: make(map[string]int),
+		tm:    newEngineTelemetry(cfg.Telemetry),
+	}
+	if cfg.Telemetry != nil {
+		// Count checkpoint bytes closest to the file, under any
+		// fault-injection wrapper the config composed on top.
+		userWrap := cfg.CheckpointWrap
+		ctr := e.tm.ckptBytes
+		store.wrap = func(w io.Writer) io.Writer {
+			var wrapped io.Writer = &countingWriter{w: w, ctr: ctr}
+			if userWrap != nil {
+				wrapped = userWrap(wrapped)
+			}
+			return wrapped
+		}
 	}
 	st, info, err := store.Load()
 	if err != nil {
@@ -119,6 +134,9 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.breaker = newBreaker(cfg.Breaker, 0, false, e.now())
 	}
+	e.noteBreakerLocked(e.breaker.state) // publish restored state, no transition
+	e.tm.templates.Set(int64(len(e.templates)))
+	e.tm.unmatchedBuffered.Set(int64(len(e.unmatched)))
 	return e, nil
 }
 
@@ -282,12 +300,14 @@ func (e *Engine) produce(ctx context.Context, r *ring, startOffset int64, prodEr
 					e.mu.Lock()
 					e.ctrs.Oversized++
 					e.mu.Unlock()
+					e.tm.oversized.Inc()
 				}
 				if e.cfg.Policy == LoadShed {
 					if !r.pushTry(it) {
 						e.mu.Lock()
 						e.ctrs.Shed++
 						e.mu.Unlock()
+						e.tm.shed.Inc()
 					}
 				} else if !r.pushWait(it) {
 					return // aborted
@@ -310,17 +330,24 @@ func (e *Engine) process(ctx context.Context, it item) error {
 	e.ctrs.Processed++
 	e.sinceCkpt++
 	e.offset = it.lineNo
+	e.tm.processed.Inc()
+	if e.tm.ringDepth != nil && e.ring != nil {
+		d, _ := e.ring.stats()
+		e.tm.ringDepth.Set(int64(d))
+	}
 
 	content := core.ContentOf(it.content)
 	tokens := core.Tokenize(content)
 	if len(tokens) == 0 {
 		e.ctrs.Empty++
+		e.tm.empty.Inc()
 		return nil
 	}
 	if e.matcher != nil {
 		if t, err := e.matcher.Match(tokens); err == nil {
 			e.counts[e.index[t.String()]]++
 			e.ctrs.Matched++
+			e.tm.matched.Inc()
 			return nil
 		}
 	}
@@ -329,15 +356,19 @@ func (e *Engine) process(ctx context.Context, it item) error {
 		e.retrainLocked(ctx)
 	}
 	e.capUnmatchedLocked()
+	e.tm.unmatchedBuffered.Set(int64(len(e.unmatched)))
 	return nil
 }
 
 // retrainLocked attempts one retrain over the whole unmatched buffer,
 // guarded by the circuit breaker. Called with e.mu held.
 func (e *Engine) retrainLocked(ctx context.Context) {
+	prevState := e.breaker.state
 	if !e.breaker.allow(e.now()) {
+		e.noteBreakerLocked(prevState)
 		return
 	}
+	e.noteBreakerLocked(prevState) // open → half-open happens inside allow
 	rctx := ctx
 	var cancel context.CancelFunc
 	if e.cfg.RetrainTimeout > 0 {
@@ -345,13 +376,18 @@ func (e *Engine) retrainLocked(ctx context.Context) {
 		defer cancel()
 	}
 	batch := append([]string(nil), e.unmatched...)
+	start := e.now()
 	tmpls, err := e.cfg.Retrainer.Retrain(rctx, batch)
+	e.tm.retrainSec.Observe(e.now().Sub(start).Seconds())
 	if err == nil {
 		err = e.mergeTemplatesLocked(tmpls)
 	}
+	prevState = e.breaker.state
 	if err != nil {
 		e.ctrs.RetrainFailures++
+		e.tm.retrainFailures.Inc()
 		e.breaker.failure(e.now())
+		e.noteBreakerLocked(prevState)
 		// Shed the batch head: the trigger re-arms only after RetrainBatch
 		// more unmatched lines, instead of retrying on every line.
 		drop := e.cfg.RetrainBatch
@@ -360,10 +396,14 @@ func (e *Engine) retrainLocked(ctx context.Context) {
 		}
 		e.unmatched = append([]string(nil), e.unmatched[drop:]...)
 		e.ctrs.UnmatchedDropped += int64(drop)
+		e.tm.unmatchedDropped.Add(uint64(drop))
 		return
 	}
 	e.ctrs.Retrains++
+	e.tm.retrains.Inc()
 	e.breaker.success()
+	e.noteBreakerLocked(prevState)
+	e.tm.templates.Set(int64(len(e.templates)))
 	e.reapplyUnmatchedLocked()
 }
 
@@ -399,13 +439,16 @@ func (e *Engine) reapplyUnmatchedLocked() {
 	for _, line := range pending {
 		if e.matcher == nil {
 			e.ctrs.Unparsed++
+			e.tm.unparsed.Inc()
 			continue
 		}
 		if t, err := e.matcher.Match(core.Tokenize(line)); err == nil {
 			e.counts[e.index[t.String()]]++
 			e.ctrs.Matched++
+			e.tm.matched.Inc()
 		} else {
 			e.ctrs.Unparsed++
+			e.tm.unparsed.Inc()
 		}
 	}
 }
@@ -415,6 +458,7 @@ func (e *Engine) capUnmatchedLocked() {
 	if over := len(e.unmatched) - e.cfg.MaxUnmatched; over > 0 {
 		e.unmatched = append([]string(nil), e.unmatched[over:]...)
 		e.ctrs.UnmatchedDropped += int64(over)
+		e.tm.unmatchedDropped.Add(uint64(over))
 	}
 }
 
@@ -442,11 +486,16 @@ func (e *Engine) checkpointLocked() error {
 			Count:  e.counts[i],
 		}
 	}
-	if err := e.store.Save(st); err != nil {
+	start := e.now()
+	err := e.store.Save(st)
+	e.tm.ckptSec.Observe(e.now().Sub(start).Seconds())
+	if err != nil {
 		e.ckptErrors++
+		e.tm.ckptErrors.Inc()
 		return err
 	}
 	e.checkpoints++
+	e.tm.checkpoints.Inc()
 	e.sinceCkpt = 0
 	e.lastCkpt = e.now()
 	e.haveCkpt = true

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"logparse/internal/core"
+	"logparse/internal/telemetry"
 )
 
 // AdmissionPolicy selects what happens when the admission ring is full.
@@ -128,6 +129,12 @@ type Config struct {
 	// the fault-injection seam for torn-write testing
 	// (faultinject.NewTornWriter).
 	CheckpointWrap func(io.Writer) io.Writer
+	// Telemetry, when non-nil, publishes the engine's health to a metrics
+	// registry: stream.* counters mirroring Stats, ring-depth/buffer/breaker
+	// gauges, and retrain/checkpoint duration histograms (see DESIGN.md §9
+	// for the catalogue). Instrumentation is behavior-neutral and, when nil,
+	// free.
+	Telemetry *telemetry.Handle
 }
 
 // Stats is a point-in-time health snapshot of an Engine. All counters are

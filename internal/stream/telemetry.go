@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"io"
+
+	"logparse/internal/telemetry"
+)
+
+// engineTelemetry holds the engine's pre-resolved metric instruments so the
+// hot path never does a registry lookup. Every field is nil when
+// Config.Telemetry is nil; all instrument methods no-op on nil receivers, so
+// the disabled path costs nothing (the few sites that must compute a value
+// before publishing it — ring depth, buffer depth — additionally gate on a
+// nil check).
+//
+// Gauge encoding: stream.breaker.state is 0=closed, 1=open, 2=half-open,
+// matching the breaker's internal constants.
+type engineTelemetry struct {
+	processed        *telemetry.Counter
+	matched          *telemetry.Counter
+	shed             *telemetry.Counter
+	empty            *telemetry.Counter
+	oversized        *telemetry.Counter
+	unparsed         *telemetry.Counter
+	unmatchedDropped *telemetry.Counter
+	retrains         *telemetry.Counter
+	retrainFailures  *telemetry.Counter
+	checkpoints      *telemetry.Counter
+	ckptErrors       *telemetry.Counter
+	ckptBytes        *telemetry.Counter
+	transitions      *telemetry.Counter
+
+	ringDepth         *telemetry.Gauge
+	unmatchedBuffered *telemetry.Gauge
+	breakerState      *telemetry.Gauge
+	templates         *telemetry.Gauge
+
+	retrainSec *telemetry.Histogram
+	ckptSec    *telemetry.Histogram
+}
+
+// newEngineTelemetry resolves the engine's instruments from h (all nil when
+// h is nil).
+func newEngineTelemetry(h *telemetry.Handle) engineTelemetry {
+	return engineTelemetry{
+		processed:        h.Counter("stream.processed"),
+		matched:          h.Counter("stream.matched"),
+		shed:             h.Counter("stream.shed"),
+		empty:            h.Counter("stream.empty"),
+		oversized:        h.Counter("stream.oversized"),
+		unparsed:         h.Counter("stream.unparsed"),
+		unmatchedDropped: h.Counter("stream.unmatched.dropped"),
+		retrains:         h.Counter("stream.retrains"),
+		retrainFailures:  h.Counter("stream.retrain.failures"),
+		checkpoints:      h.Counter("stream.checkpoints"),
+		ckptErrors:       h.Counter("stream.checkpoint.errors"),
+		ckptBytes:        h.Counter("stream.checkpoint.bytes"),
+		transitions:      h.Counter("stream.breaker.transitions"),
+
+		ringDepth:         h.Gauge("stream.ring.depth"),
+		unmatchedBuffered: h.Gauge("stream.unmatched.buffered"),
+		breakerState:      h.Gauge("stream.breaker.state"),
+		templates:         h.Gauge("stream.templates"),
+
+		retrainSec: h.Histogram("stream.retrain.seconds", telemetry.DurationBuckets),
+		ckptSec:    h.Histogram("stream.checkpoint.seconds", telemetry.DurationBuckets),
+	}
+}
+
+// noteBreakerLocked publishes a breaker state change (transition counter +
+// state gauge). Called with e.mu held, prev being the state captured before
+// the breaker was driven.
+func (e *Engine) noteBreakerLocked(prev int) {
+	if e.tm.breakerState == nil {
+		return
+	}
+	cur := e.breaker.state
+	if cur != prev {
+		e.tm.transitions.Inc()
+	}
+	e.tm.breakerState.Set(int64(cur))
+}
+
+// countingWriter counts bytes reaching the underlying checkpoint writer into
+// a telemetry counter. It sits innermost in the CheckpointWrap composition —
+// closest to the file — so it observes the bytes durably attempted even when
+// a fault-injection wrapper sits on top.
+type countingWriter struct {
+	w   io.Writer
+	ctr *telemetry.Counter
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if n > 0 {
+		cw.ctr.Add(uint64(n))
+	}
+	return n, err
+}

@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"logparse/internal/telemetry"
+)
+
+// TestEngineTelemetryMirrorsStats runs the engine with an enabled telemetry
+// handle and checks three things: the stream.* counters agree with the
+// engine's own Stats (the two accounting paths cannot drift), the canonical
+// digest is identical to a telemetry-off run over the same source
+// (instrumentation is a behavioral no-op), and checkpoint bytes were
+// actually counted by the wrap-composed counting writer.
+func TestEngineTelemetryMirrorsStats(t *testing.T) {
+	lines := synthLines(800, 7)
+
+	// Telemetry-off reference run.
+	offCfg := testConfig(t, lines)
+	offEng, err := New(offCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := offEng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	tel := telemetry.New()
+	cfg := testConfig(t, lines)
+	cfg.Telemetry = tel
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if off, on := offEng.Digest(), eng.Digest(); off != on {
+		t.Errorf("digest differs with telemetry on: off=%s on=%s", off, on)
+	}
+
+	s := eng.Stats()
+	snap := tel.Snapshot()
+	counters := []struct {
+		name string
+		want int64
+	}{
+		{"stream.processed", s.Processed},
+		{"stream.matched", s.Matched},
+		{"stream.shed", s.Shed},
+		{"stream.empty", s.Empty},
+		{"stream.oversized", s.Oversized},
+		{"stream.unparsed", s.Unparsed},
+		{"stream.unmatched.dropped", s.UnmatchedDropped},
+		{"stream.retrains", s.Retrains},
+		{"stream.retrain.failures", s.RetrainFailures},
+		{"stream.checkpoints", s.Checkpoints},
+		{"stream.checkpoint.errors", s.CheckpointErrors},
+	}
+	for _, c := range counters {
+		if got := snap.Counters[c.name]; got != uint64(c.want) {
+			t.Errorf("%s = %d, want %d (Stats)", c.name, got, c.want)
+		}
+	}
+	if s.Processed == 0 || s.Retrains == 0 || s.Checkpoints == 0 {
+		t.Fatalf("degenerate run: %+v", s)
+	}
+	if got := snap.Gauges["stream.templates"]; got != int64(s.Templates) {
+		t.Errorf("stream.templates gauge = %d, want %d", got, s.Templates)
+	}
+	if got := snap.Gauges["stream.unmatched.buffered"]; got != int64(s.UnmatchedBuffered) {
+		t.Errorf("stream.unmatched.buffered gauge = %d, want %d", got, s.UnmatchedBuffered)
+	}
+	if got := snap.Gauges["stream.breaker.state"]; got != 0 {
+		t.Errorf("stream.breaker.state gauge = %d, want 0 (closed)", got)
+	}
+	if got := snap.Counters["stream.checkpoint.bytes"]; got == 0 {
+		t.Error("stream.checkpoint.bytes = 0, want > 0 (counting writer not composed)")
+	}
+	if got := snap.Histograms["stream.retrain.seconds"].Count; got != uint64(s.Retrains+s.RetrainFailures) {
+		t.Errorf("stream.retrain.seconds count = %d, want %d", got, s.Retrains+s.RetrainFailures)
+	}
+	if got := snap.Histograms["stream.checkpoint.seconds"].Count; got != uint64(s.Checkpoints+s.CheckpointErrors) {
+		t.Errorf("stream.checkpoint.seconds count = %d, want %d", got, s.Checkpoints+s.CheckpointErrors)
+	}
+}
+
+// TestEngineTelemetryBreakerTransitions drives the breaker through
+// closed → open → half-open → closed with a failing-then-recovering
+// retrainer and checks the transition counter and state gauge follow.
+func TestEngineTelemetryBreakerTransitions(t *testing.T) {
+	tel := telemetry.New()
+	miner := &groupMiner{}
+	miner.setFail(true)
+
+	// Step-advancing fake clock: every engine clock read moves time forward
+	// so breaker cooldowns elapse deterministically within a run.
+	var clockMu sync.Mutex
+	now := time.Unix(0, 0)
+	fakeNow := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		now = now.Add(50 * time.Millisecond)
+		return now
+	}
+	cfg := testConfig(t, synthLines(600, 3))
+	cfg.Telemetry = tel
+	cfg.Retrainer = miner
+	cfg.Breaker = BreakerConfig{Threshold: 2, Cooldown: time.Second}
+	cfg.Now = fakeNow
+
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := tel.Snapshot()
+	if got := snap.Gauges["stream.breaker.state"]; got != 1 {
+		t.Fatalf("breaker state gauge = %d, want 1 (open) after repeated failures", got)
+	}
+	openTransitions := snap.Counters["stream.breaker.transitions"]
+	if openTransitions == 0 {
+		t.Fatal("no breaker transitions recorded while tripping")
+	}
+
+	// Recover: stream more lines through a resumed engine; once the
+	// cooldown elapses the half-open probe succeeds and the breaker closes.
+	miner.setFail(false)
+	cfg2 := cfg
+	cfg2.CheckpointDir = cfg.CheckpointDir // resume from the same state
+	cfg2.Open = memOpen(synthLines(1400, 3))
+	eng2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap = tel.Snapshot()
+	if got := snap.Gauges["stream.breaker.state"]; got != 0 {
+		t.Fatalf("breaker state gauge = %d, want 0 (closed) after recovery", got)
+	}
+	if got := snap.Counters["stream.breaker.transitions"]; got <= openTransitions {
+		t.Fatalf("transitions = %d, want > %d (half-open and close not counted)", got, openTransitions)
+	}
+}
+
+// TestEngineTelemetryCheckpointErrors checks the error-path metrics: a
+// checkpoint save that fails increments stream.checkpoint.errors and still
+// lands in the duration histogram.
+func TestEngineTelemetryCheckpointErrors(t *testing.T) {
+	tel := telemetry.New()
+	cfg := testConfig(t, synthLines(100, 5))
+	cfg.Telemetry = tel
+	cfg.CheckpointEvery = -1 // only explicit checkpoints
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the store directory so the next save fails.
+	eng.store.dir = t.TempDir() + "/missing/nested"
+	if err := eng.Checkpoint(); err == nil {
+		t.Fatal("expected checkpoint failure")
+	} else if errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected error kind: %v", err)
+	}
+	snap := tel.Snapshot()
+	if got := snap.Counters["stream.checkpoint.errors"]; got != 1 {
+		t.Fatalf("stream.checkpoint.errors = %d, want 1", got)
+	}
+	want := snap.Counters["stream.checkpoints"] + 1
+	if got := snap.Histograms["stream.checkpoint.seconds"].Count; got != want {
+		t.Fatalf("stream.checkpoint.seconds count = %d, want %d (failures observed too)", got, want)
+	}
+}

@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report is the structured JSON run report cmd/logparse and cmd/logeval
+// emit via -report: the cumulative per-stage timing table, the most
+// recent span trees, and a full metric snapshot. Downstream consumers
+// rely on the field names and types — the schema (not the values) is
+// frozen by a golden-file test, so changing it is a deliberate,
+// reviewed diff.
+type Report struct {
+	// Tool names the producing command ("logparse", "logeval", …).
+	Tool string `json:"tool"`
+	// Stages is the cumulative per-stage timing table, sorted by path.
+	Stages []StageTiming `json:"stages"`
+	// Spans holds the most recent finished root span trees, oldest
+	// first (bounded; a long run keeps only the tail).
+	Spans []SpanReport `json:"spans"`
+	// Metrics is the full metric snapshot at report time.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// Report renders the handle's current state. Works on a nil handle (all
+// sections empty but present, so the JSON shape never varies).
+func (h *Handle) Report(tool string) *Report {
+	return &Report{
+		Tool:    tool,
+		Stages:  h.StageTimings(),
+		Spans:   h.RecentSpans(),
+		Metrics: h.Snapshot(),
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -107,6 +107,12 @@ type Options struct {
 	NumGroups     int
 	MaxIterations int
 	Restarts      int
+
+	// Telemetry, when non-nil, instruments the built parser with stage
+	// spans, parse counters and duration histograms (see NewTelemetry).
+	// Nil — the zero value — leaves the parser uninstrumented at zero
+	// cost.
+	Telemetry *Telemetry
 }
 
 // Algorithms lists the available parser names in the paper's order.
@@ -116,7 +122,11 @@ func Algorithms() []string { return []string{"SLCT", "IPLoM", "LKE", "LogSig"} }
 func NewParser(algorithm string, opts Options) (Parser, error) {
 	switch strings.ToLower(algorithm) {
 	case "slct":
-		return slct.New(slct.Options{Support: opts.Support, SupportFrac: opts.SupportFrac}), nil
+		return slct.New(slct.Options{
+			Support:     opts.Support,
+			SupportFrac: opts.SupportFrac,
+			Telemetry:   opts.Telemetry,
+		}), nil
 	case "iplom":
 		return iplom.New(iplom.Options{
 			FileSupport:      opts.FileSupport,
@@ -126,6 +136,7 @@ func NewParser(algorithm string, opts Options) (Parser, error) {
 			ClusterGoodness:  opts.ClusterGoodness,
 			VariableRatio:    opts.VariableRatio,
 			MappingRatio:     opts.MappingRatio,
+			Telemetry:        opts.Telemetry,
 		}), nil
 	case "lke":
 		return lke.New(lke.Options{
@@ -134,6 +145,7 @@ func NewParser(algorithm string, opts Options) (Parser, error) {
 			SplitRatio:  opts.SplitRatio,
 			Seed:        opts.Seed,
 			MaxMessages: opts.MaxMessages,
+			Telemetry:   opts.Telemetry,
 		}), nil
 	case "logsig":
 		if opts.NumGroups <= 0 {
@@ -144,6 +156,7 @@ func NewParser(algorithm string, opts Options) (Parser, error) {
 			MaxIterations: opts.MaxIterations,
 			Seed:          opts.Seed,
 			Restarts:      opts.Restarts,
+			Telemetry:     opts.Telemetry,
 		}), nil
 	default:
 		return nil, fmt.Errorf("logparse: unknown algorithm %q (want one of %s)",

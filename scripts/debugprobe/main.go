@@ -1,0 +1,93 @@
+// Command debugprobe checks a running logstreamd debug endpoint. It polls
+// /debug/vars until the published logstream expvar reports at least
+// -min-processed stream.processed lines (or the deadline expires), then
+// requires /debug/pprof/cmdline to answer 200. Used by
+// scripts/telemetry_smoke.sh; exits non-zero on any failure so the smoke
+// fails loudly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+type debugVars struct {
+	Logstream struct {
+		Counters map[string]uint64 `json:"counters"`
+		Gauges   map[string]int64  `json:"gauges"`
+	} `json:"logstream"`
+}
+
+func fetchVars(url string) (*debugVars, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var v debugVars
+	if err := json.Unmarshal(body, &v); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return &v, nil
+}
+
+func main() {
+	addr := flag.String("addr", "", "host:port of the debug server (required)")
+	minProcessed := flag.Uint64("min-processed", 1, "wait until stream.processed reaches this count")
+	timeout := flag.Duration("timeout", 15*time.Second, "overall probe deadline")
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "debugprobe: -addr is required")
+		os.Exit(2)
+	}
+
+	varsURL := "http://" + *addr + "/debug/vars"
+	deadline := time.Now().Add(*timeout)
+	var lastErr error
+	for {
+		v, err := fetchVars(varsURL)
+		if err == nil {
+			if v.Logstream.Counters == nil {
+				err = fmt.Errorf("logstream expvar missing from %s", varsURL)
+			} else if got := v.Logstream.Counters["stream.processed"]; got < *minProcessed {
+				err = fmt.Errorf("stream.processed = %d, want >= %d", got, *minProcessed)
+			} else {
+				fmt.Printf("debugprobe: stream.processed=%d templates=%d\n",
+					got, v.Logstream.Gauges["stream.templates"])
+				break
+			}
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "debugprobe: %v\n", lastErr)
+			os.Exit(1)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	pprofURL := "http://" + *addr + "/debug/pprof/cmdline"
+	resp, err := http.Get(pprofURL)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "debugprobe: %v\n", err)
+		os.Exit(1)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "debugprobe: GET %s: status %d\n", pprofURL, resp.StatusCode)
+		os.Exit(1)
+	}
+	fmt.Println("debugprobe: /debug/vars and /debug/pprof OK")
+}

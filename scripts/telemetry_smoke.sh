@@ -1,0 +1,64 @@
+#!/bin/sh
+# Telemetry smoke: start logstreamd with an ephemeral debug endpoint, ingest
+# a small generated dataset, and probe /debug/vars + /debug/pprof from the
+# outside (scripts/debugprobe, stdlib-only — no curl dependency). Verifies
+# the live-metrics path end to end: expvar publication, the stream.*
+# counters actually moving, and the pprof mux being mounted.
+#
+# Run from the repository root (scripts/verify.sh does). Exits non-zero on
+# any failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DATASET="${1:-Zookeeper}"
+LINES="${2:-3000}"
+
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+	if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+		kill -INT "$daemon_pid" 2>/dev/null || true
+		wait "$daemon_pid" 2>/dev/null || true
+	fi
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "==> building logstreamd + debugprobe"
+go build -o "$work/logstreamd" ./cmd/logstreamd
+go build -o "$work/debugprobe" ./scripts/debugprobe
+
+echo "==> starting logstreamd (-debug-addr 127.0.0.1:0 -linger)"
+"$work/logstreamd" -dataset "$DATASET" -lines "$LINES" \
+	-checkpoint-dir "$work/ck" \
+	-debug-addr 127.0.0.1:0 -debug-addr-file "$work/addr" -linger \
+	>"$work/daemon.log" 2>&1 &
+daemon_pid=$!
+
+# The daemon writes its bound address once the listener is up.
+i=0
+while [ ! -s "$work/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "telemetry_smoke: debug address file never appeared" >&2
+		cat "$work/daemon.log" >&2 || true
+		exit 1
+	fi
+	if ! kill -0 "$daemon_pid" 2>/dev/null; then
+		echo "telemetry_smoke: logstreamd exited before serving" >&2
+		cat "$work/daemon.log" >&2 || true
+		exit 1
+	fi
+	sleep 0.2
+done
+addr="$(cat "$work/addr")"
+
+echo "==> probing http://$addr/debug/vars (want stream.processed >= $LINES)"
+"$work/debugprobe" -addr "$addr" -min-processed "$LINES"
+
+kill -INT "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=""
+
+echo "telemetry_smoke: OK"

@@ -4,9 +4,10 @@
 #
 # Modes:
 #
-#   scripts/verify.sh          full: build + vet + race tests + golden-digest
-#                              check + crash-recovery smoke + a 5s fuzz
-#                              smoke pass per fuzz target
+#   scripts/verify.sh          full: build + vet + race tests + telemetry
+#                              invariant tests + live /debug/vars endpoint
+#                              smoke + golden-digest check + crash-recovery
+#                              smoke + a 5s fuzz smoke pass per fuzz target
 #   scripts/verify.sh -short   fast: build + vet + `go test -short -race` +
 #                              a reduced crash-recovery smoke (skips the
 #                              long-running suites and the fuzz smokes; the
@@ -43,6 +44,12 @@ fi
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> telemetry invariants (go test -race ./internal/telemetry/...)"
+go test -race ./internal/telemetry/...
+
+echo "==> telemetry/pprof endpoint smoke (scripts/telemetry_smoke.sh)"
+sh scripts/telemetry_smoke.sh
 
 echo "==> crash-recovery smoke (scripts/crash_smoke.sh)"
 sh scripts/crash_smoke.sh
