@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document on stdout, so benchmark snapshots (BENCH_*.json)
+// can be committed and diffed across PRs.
+//
+//	go test -run '^$' -bench . ./internal/stream | benchjson -label stream
+//
+// Each benchmark line contributes its name, iteration count, and every
+// "value unit" metric pair (ns/op, B/op, allocs/op, and custom
+// b.ReportMetric units like lines/sec or ckpt-B/op). Non-benchmark lines
+// are ignored, so raw `go test` output can be piped straight through.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Label      string      `json:"label,omitempty"`
+	Commit     string      `json:"commit,omitempty"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "", "snapshot label recorded in the document")
+	commit := flag.String("commit", "", "source commit recorded in the document")
+	flag.Parse()
+
+	doc := document{
+		Label:     *label,
+		Commit:    *commit,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine recognizes one `go test -bench` result line:
+//
+//	BenchmarkName-8   12   345 ns/op   67 B/op   8 allocs/op   90.1 lines/sec
+func parseLine(line string) (benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	// Strip only the exact -GOMAXPROCS suffix the testing package appends;
+	// anything else ("-5000" in a sub-benchmark name) is part of the name.
+	b := benchmark{
+		Name:       strings.TrimSuffix(fields[0], fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return benchmark{}, false
+	}
+	return b, true
+}

@@ -27,6 +27,20 @@
 // -torn-checkpoint-limit bytes, modelling data lost between write and fsync
 // — a resumed run detects the damage and falls back to the previous
 // checkpoint generation.
+//
+// Network mode: -listen promotes the daemon to the sharded multi-tenant
+// ingestion server. Tenants POST newline-delimited lines and each gets its
+// own engine, quota, and checkpoint directory under -checkpoint-dir:
+//
+//	logstreamd -listen :8080 -checkpoint-dir /var/lib/logstream -shards 8
+//	curl -s --data-binary @app.log 'http://localhost:8080/v1/ingest?tenant=web'
+//	curl -s http://localhost:8080/v1/tenants/web/stats
+//
+// SIGINT/SIGTERM drain gracefully in both modes: admitted lines are
+// processed and every tenant's closing checkpoint is written before exit.
+// A killed process (SIGKILL, power cut) instead resumes from the newest
+// trustworthy checkpoints, and clients replay their streams — already-
+// processed lines are skipped, so replay is idempotent.
 package main
 
 import (
@@ -43,9 +57,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"logparse"
 	"logparse/internal/faultinject"
+	"logparse/internal/server"
 	"logparse/internal/stream"
 )
 
@@ -87,6 +103,15 @@ func run() (int, error) {
 		digest    = flag.Bool("digest", false, "print the canonical digest of the final template set and counts")
 		showStats = flag.Bool("stats", true, "print the stats summary on exit")
 
+		listen         = flag.String("listen", "", "serve the multi-tenant ingest API on this address (e.g. :8080); replaces -in/-dataset")
+		listenAddrFile = flag.String("listen-addr-file", "", "write the bound listen address to this file (useful with -listen :0)")
+		shards         = flag.Int("shards", 4, "fault-isolation shards tenants are hashed across (-listen mode)")
+		quotaRate      = flag.Float64("quota-rate", 0, "per-tenant admission quota in lines/sec (0 = unlimited; -listen mode)")
+		quotaBurst     = flag.Float64("quota-burst", 0, "per-tenant quota burst in lines (default one second's worth; -listen mode)")
+		maxBody        = flag.Int64("max-body", 1<<20, "ingest request body cap in bytes (-listen mode)")
+		reqTimeout     = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (-listen mode)")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline: drain rings + checkpoint every tenant (-listen mode)")
+
 		debugAddr     = flag.String("debug-addr", "", "serve /debug/vars (stream.* metrics) and /debug/pprof on this address (e.g. :6060; empty = off)")
 		debugAddrFile = flag.String("debug-addr-file", "", "write the bound debug address to this file (useful with -debug-addr :0)")
 		linger        = flag.Bool("linger", false, "after the source drains, keep the debug server running until SIGINT")
@@ -95,6 +120,20 @@ func run() (int, error) {
 
 	if *ckptDir == "" {
 		return 2, errors.New("-checkpoint-dir is required")
+	}
+	if *listen != "" {
+		if *in != "" || *dataset != "" {
+			return 2, errors.New("-listen is exclusive with -in/-dataset")
+		}
+		return runServer(serverOpts{
+			listen: *listen, addrFile: *listenAddrFile, ckptRoot: *ckptDir,
+			shards: *shards, quotaRate: *quotaRate, quotaBurst: *quotaBurst,
+			maxBody: *maxBody, reqTimeout: *reqTimeout, drainTimeout: *drainTimeout,
+			ring: *ring, ckptEvery: *ckptEvery, retrainBatch: *retrainBatch,
+			maxUnmatched: *maxUnmatched, policy: *policy,
+			primary: *primary, support: *support, seed: *seed,
+			debugAddr: *debugAddr, debugAddrFile: *debugAddrFile,
+		})
 	}
 	if (*in == "") == (*dataset == "") {
 		return 2, errors.New("exactly one of -in or -dataset is required")
@@ -173,8 +212,10 @@ func run() (int, error) {
 			from, eng.Stats().Offset)
 	}
 
-	// SIGINT/SIGTERM stop the run; unlike a simulated crash, the state is
-	// then checkpointed before exit.
+	// SIGINT/SIGTERM request a graceful stop: the producer stops pulling,
+	// every admitted line drains through the matcher, and only then is the
+	// closing checkpoint written — no admitted line is lost to a shutdown.
+	// A second signal hard-cancels (the crash model, no checkpoint).
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigCh)
@@ -183,23 +224,26 @@ func run() (int, error) {
 	go func() {
 		if _, ok := <-sigCh; ok {
 			interrupted = true
-			cancel()
+			eng.Stop()
 			close(sigDone)
+			if _, ok := <-sigCh; ok {
+				cancel()
+			}
 		}
 	}()
 
 	runErr := eng.Run(ctx)
 	switch {
+	case runErr == nil && interrupted:
+		fmt.Fprintf(os.Stderr, "logstreamd: interrupted; ring drained and state checkpointed at offset %d\n", eng.Stats().Offset)
 	case runErr == nil:
 		// Clean end of source; final checkpoint already written.
 	case errors.Is(runErr, context.Canceled) && crashed:
 		fmt.Fprintf(os.Stderr, "logstreamd: simulated crash after line %d (no checkpoint)\n", *killAfter)
 		return crashExitCode, nil
 	case errors.Is(runErr, context.Canceled) && interrupted:
-		if err := eng.Checkpoint(); err != nil {
-			return 1, fmt.Errorf("interrupted; final checkpoint failed: %w", err)
-		}
-		fmt.Fprintf(os.Stderr, "logstreamd: interrupted; state checkpointed at offset %d\n", eng.Stats().Offset)
+		fmt.Fprintln(os.Stderr, "logstreamd: second signal; hard stop without checkpoint")
+		return 1, runErr
 	default:
 		return 1, runErr
 	}
@@ -214,6 +258,115 @@ func run() (int, error) {
 		fmt.Fprintln(os.Stderr, "logstreamd: source drained; debug server still serving (SIGINT to exit)")
 		<-sigDone
 	}
+	return 0, nil
+}
+
+// serverOpts carries the -listen mode flags into runServer.
+type serverOpts struct {
+	listen, addrFile, ckptRoot string
+
+	shards       int
+	quotaRate    float64
+	quotaBurst   float64
+	maxBody      int64
+	reqTimeout   time.Duration
+	drainTimeout time.Duration
+
+	ring, ckptEvery, retrainBatch, maxUnmatched int
+	policy, primary                             string
+	support                                     int
+	seed                                        int64
+
+	debugAddr, debugAddrFile string
+}
+
+// runServer runs the sharded multi-tenant ingest service until SIGINT or
+// SIGTERM, then drains: admission stops, every tenant's ring empties, and
+// every tenant's closing checkpoint is written before exit.
+func runServer(o serverOpts) (int, error) {
+	var pol stream.AdmissionPolicy
+	switch o.policy {
+	case "backpressure":
+		pol = stream.Backpressure
+	case "shed":
+		pol = stream.LoadShed
+	default:
+		return 2, fmt.Errorf("unknown -policy %q (want backpressure or shed)", o.policy)
+	}
+
+	var tel *logparse.Telemetry
+	if o.debugAddr != "" {
+		tel = logparse.NewTelemetry()
+		if err := serveDebug(o.debugAddr, o.debugAddrFile, tel); err != nil {
+			return 1, err
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		CheckpointRoot: o.ckptRoot,
+		Shards:         o.shards,
+		Stream: stream.Config{
+			RingCapacity:    o.ring,
+			Policy:          pol,
+			CheckpointEvery: o.ckptEvery,
+			RetrainBatch:    o.retrainBatch,
+			MaxUnmatched:    o.maxUnmatched,
+		},
+		NewRetrainer: func(tenant string) (stream.Retrainer, error) {
+			return logparse.NewStreamRetrainer(o.primary,
+				logparse.Options{Support: o.support, SupportFrac: 0.005, NumGroups: 40, Seed: o.seed},
+				logparse.RobustPolicy{})
+		},
+		QuotaRate:      o.quotaRate,
+		QuotaBurst:     o.quotaBurst,
+		MaxBodyBytes:   o.maxBody,
+		RequestTimeout: o.reqTimeout,
+		Telemetry:      tel,
+	})
+	if err != nil {
+		return 1, err
+	}
+
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return 1, fmt.Errorf("listen: %w", err)
+	}
+	if o.addrFile != "" {
+		if err := os.WriteFile(o.addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return 1, err
+		}
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "logstreamd: multi-tenant ingest on http://%s/v1/ingest (%d shards)\n",
+		ln.Addr(), o.shards)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "logstreamd: %s; draining %d tenants (deadline %s)\n",
+			sig, srv.Stats().Tenants, o.drainTimeout)
+	case err := <-serveErr:
+		return 1, fmt.Errorf("http server: %w", err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	// Drain the engines first so in-flight ingest requests get their typed
+	// 503s rather than hard-closed connections, then stop the HTTP server.
+	drainErr := srv.Shutdown(drainCtx)
+	_ = httpSrv.Shutdown(drainCtx)
+	if drainErr != nil {
+		return 1, fmt.Errorf("drain: %w", drainErr)
+	}
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr, "logstreamd: drained; %d tenants checkpointed (accepted=%d skipped=%d shed=%d quota-rejected=%d)\n",
+		st.Tenants, st.Accepted, st.Skipped, st.Shed, st.QuotaRejected)
 	return 0, nil
 }
 

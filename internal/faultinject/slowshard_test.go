@@ -1,0 +1,48 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSlowShardFiresEveryLine(t *testing.T) {
+	var slept []time.Duration
+	s := &SlowShard{
+		PerLine: 7 * time.Millisecond,
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	for i := int64(1); i <= 5; i++ {
+		s.AfterLine(i)
+	}
+	if s.Lines() != 5 || s.Injected() != 5 {
+		t.Fatalf("lines/injected = %d/%d, want 5/5", s.Lines(), s.Injected())
+	}
+	if len(slept) != 5 || slept[0] != 7*time.Millisecond {
+		t.Fatalf("sleeps = %v, want five of 7ms", slept)
+	}
+}
+
+func TestSlowShardFiresEveryNth(t *testing.T) {
+	fired := 0
+	s := &SlowShard{
+		PerLine: time.Millisecond,
+		Every:   3,
+		Sleep:   func(time.Duration) { fired++ },
+	}
+	for i := int64(1); i <= 10; i++ {
+		s.AfterLine(i)
+	}
+	if fired != 3 || s.Injected() != 3 {
+		t.Fatalf("fired = %d (injected %d), want 3 of 10 lines", fired, s.Injected())
+	}
+}
+
+func TestSlowShardZeroValueInjectsNothing(t *testing.T) {
+	s := &SlowShard{Sleep: func(time.Duration) { t.Fatal("zero-value SlowShard slept") }}
+	for i := int64(1); i <= 4; i++ {
+		s.AfterLine(i)
+	}
+	if s.Injected() != 0 || s.Lines() != 4 {
+		t.Fatalf("injected/lines = %d/%d, want 0/4", s.Injected(), s.Lines())
+	}
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"logparse/internal/stream"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/ingest?tenant=ID       newline-delimited lines in the body;
+//	                                200 with {accepted,skipped,shed},
+//	                                400 bad tenant, 413 oversized body or
+//	                                unsplittable batch, 429 quota
+//	                                (Retry-After), 503 draining/restarting
+//	                                (Retry-After)
+//	GET  /v1/tenants                live tenants with shard and offset
+//	GET  /v1/tenants/{id}/stats     one tenant's full snapshot + digest
+//	GET  /v1/stats                  the fleet snapshot
+//	GET  /healthz                   200 while the process lives
+//	GET  /readyz                    200 while accepting ingest, 503 when
+//	                                draining (Retry-After)
+//
+// The whole tree is wrapped in a per-request deadline
+// (Config.RequestTimeout): a request stuck behind one slow shard gets 503
+// without tying up anything but its own tenant.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	mux.HandleFunc("GET /v1/tenants/{id}/stats", s.handleTenantStats)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	var h http.Handler = mux
+	if s.cfg.RequestTimeout > 0 {
+		h = http.TimeoutHandler(h, s.cfg.RequestTimeout,
+			`{"error":"request deadline exceeded; the tenant's shard is backlogged"}`)
+	}
+	return h
+}
+
+// ingestResponse is the 200 body of POST /v1/ingest.
+type ingestResponse struct {
+	Tenant string `json:"tenant"`
+	stream.PushResult
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error             string `json:"error"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.tm.requests.Inc()
+	tenantID := r.URL.Query().Get("tenant")
+	if tenantID == "" {
+		tenantID = r.Header.Get("X-Tenant")
+	}
+	if tenantID == "" {
+		writeErr(w, http.StatusBadRequest, 0, "missing tenant (query ?tenant= or X-Tenant header)")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, 0,
+				fmt.Sprintf("body exceeds %d bytes; split the batch", s.cfg.MaxBodyBytes))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, 0, "reading body: "+err.Error())
+		return
+	}
+	res, err := s.Ingest(tenantID, strings.Split(string(body), "\n"))
+	if err != nil {
+		writeIngestErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{Tenant: tenantID, PushResult: res})
+}
+
+// writeIngestErr maps a typed ingest failure to its status code and
+// backpressure signal.
+func writeIngestErr(w http.ResponseWriter, err error) {
+	var qe *QuotaError
+	var tie *TenantIDError
+	switch {
+	case errors.As(err, &qe):
+		if qe.Permanent {
+			writeErr(w, http.StatusRequestEntityTooLarge, 0, qe.Error())
+			return
+		}
+		writeErr(w, http.StatusTooManyRequests, retrySeconds(qe.RetryAfter), qe.Error())
+	case errors.As(err, &tie):
+		writeErr(w, http.StatusBadRequest, 0, tie.Error())
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, 1, err.Error())
+	case errors.Is(err, ErrTooManyTenants):
+		writeErr(w, http.StatusServiceUnavailable, 0, err.Error())
+	case errors.Is(err, stream.ErrNotServing):
+		// The tenant's engine is between incarnations (panic recovery in
+		// progress) or mid-drain; the batch was not durably admitted.
+		writeErr(w, http.StatusServiceUnavailable, 1, err.Error()+"; replay the batch")
+	default:
+		writeErr(w, http.StatusInternalServerError, 0, err.Error())
+	}
+}
+
+func (s *Server) handleTenantStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.TenantStats(r.PathValue("id"))
+	if err != nil {
+		var tie *TenantIDError
+		switch {
+		case errors.As(err, &tie):
+			writeErr(w, http.StatusBadRequest, 0, tie.Error())
+		case errors.Is(err, ErrUnknownTenant):
+			writeErr(w, http.StatusNotFound, 0, err.Error())
+		default:
+			writeErr(w, http.StatusInternalServerError, 0, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// tenantSummary is one row of GET /v1/tenants.
+type tenantSummary struct {
+	Tenant string `json:"tenant"`
+	Shard  int    `json:"shard"`
+	Offset int64  `json:"offset"`
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	tenants := s.allTenants()
+	out := make([]tenantSummary, 0, len(tenants))
+	for _, t := range tenants {
+		st := t.stats()
+		out = append(out, tenantSummary{Tenant: st.Tenant, Shard: st.Shard, Offset: st.Stream.Offset})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeErr(w, http.StatusServiceUnavailable, 1, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// retrySeconds renders a Retry-After duration in whole seconds, at least 1.
+func retrySeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status, retryAfter int, msg string) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	writeJSON(w, status, errorResponse{Error: msg, RetryAfterSeconds: retryAfter})
+}

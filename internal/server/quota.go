@@ -1,0 +1,66 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a per-tenant token-bucket admission quota: rate lines/sec
+// refill, burst lines of depth. Batches are all-or-nothing — either every
+// line in the batch is charged, or none are and the caller learns how long
+// to wait — so a rejected client can replay the identical batch later
+// without splitting or reordering its stream (which would break the replay
+// determinism the recovery contract depends on).
+//
+// A zero-rate bucket is unlimited. The clock is injected, so fairness
+// tests are wall-clock-free.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newBucket(rate, burst float64, now func() time.Time) *bucket {
+	if rate <= 0 {
+		return &bucket{}
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+// take attempts to spend n tokens. On refusal it reports how long until
+// the bucket could admit the batch, and whether the batch can never fit
+// (n exceeds the bucket depth — waiting will not help).
+func (b *bucket) take(n int) (ok bool, retryAfter time.Duration, permanent bool) {
+	if b.rate <= 0 || n <= 0 {
+		return true, 0, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if el := now.Sub(b.last).Seconds(); el > 0 {
+		b.tokens += el * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	need := float64(n)
+	if need <= b.tokens {
+		b.tokens -= need
+		return true, 0, false
+	}
+	if need > b.burst {
+		return false, 0, true
+	}
+	wait := time.Duration((need - b.tokens) / b.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second // Retry-After resolution is whole seconds
+	}
+	return false, wait, false
+}

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"logparse/internal/stream"
+)
+
+// shard is a fault-isolation domain: the tenants hashed onto it, each with
+// its own supervised engine. A panic in one tenant's consumer is absorbed
+// here — the engine is rebuilt from its checkpoint while every other
+// tenant, on this shard and all others, keeps serving.
+type shard struct {
+	id  int
+	srv *Server
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+}
+
+// stats aggregates the shard's tenants.
+func (sh *shard) stats() ShardStats {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := ShardStats{Shard: sh.id, Tenants: len(sh.tenants)}
+	for _, t := range sh.tenants {
+		t.mu.Lock()
+		st.Panics += t.panics
+		st.Restarts += t.restarts
+		t.mu.Unlock()
+	}
+	return st
+}
+
+// tenant is one tenant's full ingestion stack: quota, engine, supervisor.
+type tenant struct {
+	id      string
+	shardID int
+	srv     *Server
+	quota   *bucket
+	engCfg  stream.Config // the recipe for rebuilding after a panic
+
+	mu            sync.Mutex
+	eng           *stream.Engine
+	err           error // terminal serve error (nil while healthy)
+	panics        int64
+	restarts      int64
+	quotaRejected int64
+	stopping      bool
+
+	done chan struct{} // closed when the supervisor exits
+}
+
+// supervise runs the tenant's serve loop, absorbing panics by rebuilding
+// the engine from its newest trustworthy checkpoint. It exits on graceful
+// stop (clean drain + closing checkpoint), on ctx cancellation (the crash
+// model), or on a terminal error (recorded in t.err).
+func (t *tenant) supervise(ctx context.Context) {
+	defer close(t.done)
+	for {
+		t.mu.Lock()
+		eng := t.eng
+		t.mu.Unlock()
+
+		pv, err := t.serveOnce(ctx, eng)
+		if pv == nil {
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.mu.Lock()
+				t.err = err
+				t.mu.Unlock()
+			}
+			return
+		}
+
+		// A panic unwound the consumer: everything in that incarnation's
+		// ring is gone (clients replay it), but the checkpoints survive.
+		t.srv.tm.panics.Inc()
+		t.mu.Lock()
+		t.panics++
+		stopping := t.stopping
+		t.mu.Unlock()
+		if ctx.Err() != nil || stopping {
+			return
+		}
+		next, nerr := stream.New(t.engCfg)
+		if nerr != nil {
+			t.mu.Lock()
+			t.err = fmt.Errorf("restart after panic (%v): %w", pv, nerr)
+			t.mu.Unlock()
+			return
+		}
+		t.srv.tm.restarts.Inc()
+		t.mu.Lock()
+		t.eng = next
+		t.restarts++
+		t.mu.Unlock()
+	}
+}
+
+// serveOnce runs one engine incarnation, converting a panic anywhere under
+// Serve into a returned value instead of a process crash.
+func (t *tenant) serveOnce(ctx context.Context, eng *stream.Engine) (pv any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pv = r
+		}
+	}()
+	return nil, eng.Serve(ctx)
+}
+
+// push forwards a batch to the tenant's current engine incarnation.
+func (t *tenant) push(lines []string) (stream.PushResult, error) {
+	t.mu.Lock()
+	eng := t.eng
+	terr := t.err
+	t.mu.Unlock()
+	if terr != nil {
+		return stream.PushResult{}, terr
+	}
+	return eng.Push(lines)
+}
+
+// stop closes the tenant's input for a graceful drain.
+func (t *tenant) stop() {
+	t.mu.Lock()
+	t.stopping = true
+	eng := t.eng
+	t.mu.Unlock()
+	eng.Stop()
+}
+
+// stats snapshots the tenant.
+func (t *tenant) stats() TenantStats {
+	t.mu.Lock()
+	eng := t.eng
+	st := TenantStats{
+		Tenant:        t.id,
+		Shard:         t.shardID,
+		Panics:        t.panics,
+		Restarts:      t.restarts,
+		QuotaRejected: t.quotaRejected,
+	}
+	if t.err != nil {
+		st.Error = t.err.Error()
+	}
+	t.mu.Unlock()
+	st.Stream = eng.Stats()
+	st.Digest = eng.Digest()
+	return st
+}
+
+// TenantStats is one tenant's externally visible snapshot.
+type TenantStats struct {
+	// Tenant is the tenant id; Shard is its placement.
+	Tenant string `json:"tenant"`
+	Shard  int    `json:"shard"`
+	// Stream is the tenant engine's full health snapshot.
+	Stream stream.Stats `json:"stream"`
+	// Digest is the canonical digest of the tenant's parse outcome — the
+	// quantity the kill-and-recover equivalence compares.
+	Digest string `json:"digest"`
+	// Panics and Restarts count consumer panics absorbed and engine
+	// incarnations rebuilt from checkpoints.
+	Panics   int64 `json:"panics"`
+	Restarts int64 `json:"restarts"`
+	// QuotaRejected counts lines refused by the admission quota.
+	QuotaRejected int64 `json:"quota_rejected"`
+	// Error is the tenant's terminal serve error, empty while healthy.
+	Error string `json:"error,omitempty"`
+}
+
+// ShardStats aggregates one shard.
+type ShardStats struct {
+	Shard    int   `json:"shard"`
+	Tenants  int   `json:"tenants"`
+	Panics   int64 `json:"panics"`
+	Restarts int64 `json:"restarts"`
+}
+
+// Stats is the fleet snapshot.
+type Stats struct {
+	Tenants       int          `json:"tenants"`
+	Draining      bool         `json:"draining"`
+	Accepted      int64        `json:"accepted"`
+	Skipped       int64        `json:"skipped"`
+	Shed          int64        `json:"shed"`
+	QuotaRejected int64        `json:"quota_rejected"`
+	Shards        []ShardStats `json:"shards"`
+}

@@ -6,6 +6,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -82,9 +83,35 @@ func (e *CorruptError) Error() string {
 	return fmt.Sprintf("stream: corrupt checkpoint %s: %s", e.Path, e.Reason)
 }
 
+// AllCorruptError reports that every checkpoint generation on disk exists
+// but failed verification — there is state, and none of it can be trusted.
+// Current and Previous hold the per-generation *CorruptError (nil when
+// that generation does not exist).
+type AllCorruptError struct {
+	Current  error
+	Previous error
+}
+
+func (e *AllCorruptError) Error() string {
+	if e.Previous == nil {
+		return fmt.Sprintf("stream: only checkpoint generation is unusable: %v", e.Current)
+	}
+	return fmt.Sprintf("stream: every checkpoint generation is unusable: %v; previous: %v", e.Current, e.Previous)
+}
+
+// Unwrap exposes the per-generation errors to errors.Is/As.
+func (e *AllCorruptError) Unwrap() []error {
+	errs := []error{e.Current}
+	if e.Previous != nil {
+		errs = append(errs, e.Previous)
+	}
+	return errs
+}
+
 // LoadInfo reports where Load found usable state.
 type LoadInfo struct {
-	// Source is "none", "current" or "previous".
+	// Source is "none", "current" or "previous" ("reset" is synthesized
+	// by the engine when it absorbs an AllCorruptError).
 	Source string
 	// CorruptCurrent is the error that disqualified the current
 	// generation when Source is "previous" because of corruption (nil
@@ -172,9 +199,11 @@ func (s *Store) syncDir() {
 
 // Load returns the newest trustworthy state: the current generation, or —
 // when current is missing or corrupt — the previous one. (nil, info, nil)
-// with Source "none" means a fresh start; an error means every existing
-// generation is corrupt, which deserves an operator's attention rather
-// than a silent restart from zero.
+// with Source "none" means a fresh start. When every existing generation
+// fails verification the error is a typed *AllCorruptError, which the
+// engine absorbs into an empty start with the damage surfaced through
+// Stats and telemetry; non-corruption failures (permissions, IO) stay
+// plain errors and fail construction.
 func (s *Store) Load() (*State, LoadInfo, error) {
 	cur, prev := s.path(currentName), s.path(prevName)
 	st, errCur := loadFile(cur)
@@ -194,8 +223,26 @@ func (s *Store) Load() (*State, LoadInfo, error) {
 		info.Source = "none"
 		return nil, info, nil
 	}
+	isCorrupt := func(err error) bool {
+		var ce *CorruptError
+		return errors.As(err, &ce)
+	}
 	if os.IsNotExist(errPrev) {
+		if isCorrupt(errCur) {
+			return nil, info, &AllCorruptError{Current: errCur}
+		}
 		return nil, info, fmt.Errorf("stream: only checkpoint generation is unusable: %w", errCur)
+	}
+	if (os.IsNotExist(errCur) || isCorrupt(errCur)) && isCorrupt(errPrev) {
+		acur := errCur
+		if os.IsNotExist(errCur) {
+			acur = nil
+		}
+		if acur == nil {
+			// Only previous exists and it is corrupt.
+			return nil, info, &AllCorruptError{Current: errPrev}
+		}
+		return nil, info, &AllCorruptError{Current: acur, Previous: errPrev}
 	}
 	return nil, info, fmt.Errorf("stream: every checkpoint generation is unusable: %w; previous: %v", errCur, errPrev)
 }

@@ -50,18 +50,27 @@ type Engine struct {
 	lastCkpt      time.Time
 	haveCkpt      bool
 	recoveredFrom string
+	recoveryErr   error // non-nil after a corrupt-reset start (*AllCorruptError)
 	ring          *ring
 	running       bool
+
+	// Push-mode admission state (Serve/Push). pushMu is separate from mu
+	// because pushWait can block while the consumer needs mu to process.
+	pushMu   sync.Mutex
+	pushRing *ring
+	pushSeq  int64 // lines submitted to this incarnation, in push order
+	pushSkip int64 // lines at or below this offset are replay duplicates
 }
 
 // New builds an engine, restoring the newest trustworthy checkpoint from
 // cfg.CheckpointDir (falling back from a corrupt current generation to the
-// previous one). When every existing generation is corrupt, New fails
-// rather than silently restarting from zero.
+// previous one). When every existing generation is corrupt, the engine
+// starts empty and quarantines the damage as a typed *AllCorruptError,
+// surfaced through RecoveryError, Stats and telemetry — in a shared
+// multi-tenant service one tenant's rotted checkpoints must degrade that
+// tenant, not crash the fleet. Config.Open may be nil for push-mode-only
+// engines (Serve/Push); Run requires it.
 func New(cfg Config) (*Engine, error) {
-	if cfg.Open == nil {
-		return nil, fmt.Errorf("stream: Config.Open is required")
-	}
 	if cfg.RingCapacity <= 0 {
 		cfg.RingCapacity = 1024
 	}
@@ -118,10 +127,19 @@ func New(cfg Config) (*Engine, error) {
 	}
 	st, info, err := store.Load()
 	if err != nil {
-		return nil, err
+		var all *AllCorruptError
+		if !errors.As(err, &all) {
+			return nil, err
+		}
+		// Every generation on disk failed verification: start empty,
+		// keep the typed error for the operator instead of crashing.
+		st = nil
+		info = LoadInfo{Source: "reset"}
+		e.recoveryErr = all
+		e.tm.corruptResets.Inc()
 	}
 	e.recoveredFrom = ""
-	if info.Source == "current" || info.Source == "previous" {
+	if info.Source == "current" || info.Source == "previous" || info.Source == "reset" {
 		e.recoveredFrom = info.Source
 	}
 	if st != nil {
@@ -194,12 +212,17 @@ func (e *Engine) rebuildMatcher() error {
 	return nil
 }
 
-// Run tails the source until it ends cleanly (final checkpoint, nil
-// return), the source fails (state checkpointed, error returned — a later
-// Run resumes), or ctx ends (NO checkpoint: cancellation models a crash,
-// so everything after the last checkpoint is deliberately forgotten;
-// graceful shutdowns call Checkpoint after Run returns).
+// Run tails the source until it ends cleanly or Stop drains it (final
+// checkpoint, nil return), the source fails (state checkpointed, error
+// returned — a later Run resumes), or ctx ends (NO checkpoint:
+// cancellation models a crash, so everything after the last checkpoint is
+// deliberately forgotten). Graceful shutdowns call Stop, which stops the
+// producer, drains every admitted line, and only then lets the closing
+// checkpoint happen — no admitted line is lost to a SIGINT.
 func (e *Engine) Run(ctx context.Context) error {
+	if e.cfg.Open == nil {
+		return fmt.Errorf("stream: Config.Open is required for Run (use Serve for push mode)")
+	}
 	e.mu.Lock()
 	if e.running {
 		e.mu.Unlock()
@@ -211,6 +234,9 @@ func (e *Engine) Run(ctx context.Context) error {
 	e.ring = r
 	e.mu.Unlock()
 	defer func() {
+		// Wake a producer still blocked on the ring if the consumer
+		// unwound without draining (error or panic in process).
+		r.abort()
 		e.mu.Lock()
 		e.running = false
 		e.mu.Unlock()
@@ -230,13 +256,35 @@ func (e *Engine) Run(ctx context.Context) error {
 	prodErr := make(chan error, 1)
 	go e.produce(ctx, r, startOffset, prodErr)
 
+	if err := e.consume(ctx, r); err != nil {
+		return err // crash-style stop: no checkpoint
+	}
+
+	var srcErr error
+	select {
+	case srcErr = <-prodErr:
+	default:
+	}
+	if err := e.Checkpoint(); err != nil {
+		if srcErr != nil {
+			return fmt.Errorf("%w (and final checkpoint failed: %v)", srcErr, err)
+		}
+		return err
+	}
+	return srcErr
+}
+
+// consume drains the ring until it closes cleanly (nil — the source ended
+// or Stop was called and every admitted line has been processed) or ctx
+// ends (ctx.Err(), the crash path).
+func (e *Engine) consume(ctx context.Context, r *ring) error {
 	for {
 		it, ok := r.pop()
 		if !ok {
 			if err := ctx.Err(); err != nil {
-				return err // crash-style stop: no checkpoint
+				return err
 			}
-			break // clean drain
+			return nil // clean drain
 		}
 		if err := e.process(ctx, it); err != nil {
 			return err
@@ -254,19 +302,6 @@ func (e *Engine) Run(ctx context.Context) error {
 		}
 		e.mu.Unlock()
 	}
-
-	var srcErr error
-	select {
-	case srcErr = <-prodErr:
-	default:
-	}
-	if err := e.Checkpoint(); err != nil {
-		if srcErr != nil {
-			return fmt.Errorf("%w (and final checkpoint failed: %v)", srcErr, err)
-		}
-		return err
-	}
-	return srcErr
 }
 
 // produce tails the source into the ring, skipping the first startOffset
@@ -304,13 +339,16 @@ func (e *Engine) produce(ctx context.Context, r *ring, startOffset int64, prodEr
 				}
 				if e.cfg.Policy == LoadShed {
 					if !r.pushTry(it) {
+						if r.stopped() {
+							return // Stop or abort: no further input
+						}
 						e.mu.Lock()
 						e.ctrs.Shed++
 						e.mu.Unlock()
 						e.tm.shed.Inc()
 					}
 				} else if !r.pushWait(it) {
-					return // aborted
+					return // stopped or aborted
 				}
 			}
 		}
@@ -520,6 +558,16 @@ func (e *Engine) Digest() string {
 	return Digest(tmpls, counts)
 }
 
+// RecoveryError returns the typed error of a corrupt-reset start (every
+// checkpoint generation failed verification, the engine started empty) and
+// nil after a healthy start. Use errors.As with *AllCorruptError to reach
+// the per-generation corruption details.
+func (e *Engine) RecoveryError() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.recoveryErr
+}
+
 // Stats returns a health snapshot. Safe to call concurrently with Run.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
@@ -542,6 +590,9 @@ func (e *Engine) Stats() Stats {
 		Templates:         len(e.templates),
 		Breaker:           e.breaker.stateName(),
 		RecoveredFrom:     e.recoveredFrom,
+	}
+	if e.recoveryErr != nil {
+		s.RecoveryError = e.recoveryErr.Error()
 	}
 	if e.haveCkpt {
 		s.CheckpointAge = e.now().Sub(e.lastCkpt)

@@ -1,0 +1,186 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrNotServing is returned by Push when the engine has no active Serve
+// loop: it never started, it already drained after Stop, or its current
+// incarnation crashed. The caller should back off briefly and retry (a
+// supervisor may be rebuilding the engine from its checkpoint).
+var ErrNotServing = errors.New("stream: engine is not serving")
+
+// PushResult reports what happened to one pushed batch, line by line.
+type PushResult struct {
+	// Accepted counts lines admitted into the ring for processing.
+	Accepted int `json:"accepted"`
+	// Skipped counts lines at or below the restored offset: replay
+	// duplicates a previous incarnation already processed durably.
+	// Idempotent replay is the recovery contract — after a crash, clients
+	// resend their stream from the beginning (or the last acknowledged
+	// offset) and the engine discards what it already knows.
+	Skipped int `json:"skipped"`
+	// Shed counts lines dropped because the ring was full under the
+	// LoadShed policy. Shed lines are lost: by the time the client could
+	// replay them the offset may have moved past their position.
+	Shed int `json:"shed"`
+}
+
+// Serve runs the engine in push mode: lines arrive via Push instead of
+// being pulled from Config.Open, and the stream ends when Stop is called
+// (drain every admitted line, write the final checkpoint, return nil) or
+// when ctx ends (the crash model: no checkpoint, everything after the last
+// one is deliberately forgotten).
+//
+// The determinism contract matches Run: line numbers are assigned in push
+// order, so as long as nothing is shed, a client that replays the same
+// lines in the same order converges a resumed engine to the digest of an
+// uninterrupted one.
+func (e *Engine) Serve(ctx context.Context) error {
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		return ErrAlreadyRunning
+	}
+	e.running = true
+	r := newRing(e.cfg.RingCapacity)
+	e.ring = r
+	start := e.offset
+	e.mu.Unlock()
+
+	e.pushMu.Lock()
+	e.pushRing = r
+	e.pushSeq = 0
+	e.pushSkip = start
+	e.pushMu.Unlock()
+
+	defer func() {
+		// Abort BEFORE taking pushMu: a pusher blocked mid-batch in
+		// pushWait is holding pushMu, and after a panic unwound the
+		// consumer nobody is left to free a ring slot — the abort is what
+		// wakes it to release the lock. (Locking first deadlocks the
+		// unwind against the blocked pusher.)
+		r.abort()
+		e.pushMu.Lock()
+		e.pushRing = nil
+		e.pushMu.Unlock()
+		e.mu.Lock()
+		e.running = false
+		e.mu.Unlock()
+	}()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			r.abort()
+		case <-stop:
+		}
+	}()
+
+	if err := e.consume(ctx, r); err != nil {
+		return err
+	}
+	return e.Checkpoint()
+}
+
+// Serving reports whether a Serve loop is currently admitting pushes.
+func (e *Engine) Serving() bool {
+	e.pushMu.Lock()
+	defer e.pushMu.Unlock()
+	return e.pushRing != nil
+}
+
+// WaitServing blocks until the engine is admitting pushes or ctx ends —
+// the startup handshake between whoever launched Serve in a goroutine and
+// the first Push (which would otherwise race the loop's registration and
+// get a spurious ErrNotServing).
+func (e *Engine) WaitServing(ctx context.Context) error {
+	for !e.Serving() {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(500 * time.Microsecond):
+		}
+	}
+	return nil
+}
+
+// Push submits a batch of lines to a serving engine. Batches are atomic in
+// order: Push holds the admission lock for the whole batch, so concurrent
+// pushers interleave at batch granularity, never mid-batch. Empty lines do
+// not advance the line numbering (matching the file producer), so replayed
+// streams number identically.
+//
+// Under Backpressure a full ring blocks Push until the consumer frees a
+// slot; under LoadShed the line is counted in PushResult.Shed and dropped.
+// ErrNotServing means the serve loop ended mid-batch — the caller should
+// retry the whole batch against the next incarnation (already-processed
+// lines will be skipped).
+func (e *Engine) Push(lines []string) (PushResult, error) {
+	e.pushMu.Lock()
+	defer e.pushMu.Unlock()
+	var res PushResult
+	r := e.pushRing
+	if r == nil {
+		return res, ErrNotServing
+	}
+	for _, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		e.pushSeq++
+		if e.pushSeq <= e.pushSkip {
+			res.Skipped++
+			continue
+		}
+		if len(line) > e.cfg.MaxLineBytes {
+			line = line[:e.cfg.MaxLineBytes]
+			e.mu.Lock()
+			e.ctrs.Oversized++
+			e.mu.Unlock()
+			e.tm.oversized.Inc()
+		}
+		it := item{lineNo: e.pushSeq, content: line}
+		if e.cfg.Policy == LoadShed {
+			if r.pushTry(it) {
+				res.Accepted++
+				continue
+			}
+			if r.stopped() {
+				return res, ErrNotServing
+			}
+			res.Shed++
+			e.mu.Lock()
+			e.ctrs.Shed++
+			e.mu.Unlock()
+			e.tm.shed.Inc()
+		} else {
+			if !r.pushWait(it) {
+				return res, ErrNotServing
+			}
+			res.Accepted++
+		}
+	}
+	return res, nil
+}
+
+// Stop requests a graceful stop of the active Run or Serve: no further
+// input is admitted (the file producer exits at its next push, Push
+// returns ErrNotServing), every already-admitted line is drained and
+// processed, and the loop returns through its clean path — final
+// checkpoint included. This ordering is the SIGINT guarantee: admission
+// happens-before the closing checkpoint, so no admitted line is ever lost
+// to a graceful shutdown. Safe to call from any goroutine at any time;
+// a no-op when the engine is idle.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	r := e.ring
+	e.mu.Unlock()
+	if r != nil {
+		r.close()
+	}
+}

@@ -112,6 +112,14 @@ func (r *ring) abort() {
 	r.notEmpty.Broadcast()
 }
 
+// stopped reports whether the ring accepts no further input (closed by a
+// graceful Stop or aborted by a crash-style cancellation).
+func (r *ring) stopped() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed || r.aborted
+}
+
 // stats reports current depth and the high-water mark.
 func (r *ring) stats() (depth, highWater int) {
 	r.mu.Lock()

@@ -83,7 +83,9 @@ type Config struct {
 	// Open returns a fresh reader over the log source from its beginning.
 	// The engine re-opens on start and skips to the checkpointed offset,
 	// so the source must replay the same lines in the same order (a file,
-	// an object-store segment, a replayable queue).
+	// an object-store segment, a replayable queue). Required for Run; may
+	// be nil for push-mode engines driven through Serve/Push, where the
+	// same replay duty falls on the pushing client.
 	Open func() (io.ReadCloser, error)
 	// CheckpointDir is the directory holding the checkpoint generations.
 	CheckpointDir string
@@ -184,8 +186,12 @@ type Stats struct {
 	RingDepth     int
 	RingHighWater int
 	// RecoveredFrom reports which checkpoint generation the engine
-	// restored at startup: "", "current" or "previous".
+	// restored at startup: "" (fresh start), "current", "previous", or
+	// "reset" (every generation was corrupt; the engine started empty).
 	RecoveredFrom string
+	// RecoveryError is the rendered *AllCorruptError of a corrupt-reset
+	// start, empty after a healthy one.
+	RecoveryError string
 }
 
 // Digest is the canonical digest of an engine's observable outcome: the

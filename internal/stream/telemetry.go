@@ -28,6 +28,7 @@ type engineTelemetry struct {
 	checkpoints      *telemetry.Counter
 	ckptErrors       *telemetry.Counter
 	ckptBytes        *telemetry.Counter
+	corruptResets    *telemetry.Counter
 	transitions      *telemetry.Counter
 
 	ringDepth         *telemetry.Gauge
@@ -55,6 +56,7 @@ func newEngineTelemetry(h *telemetry.Handle) engineTelemetry {
 		checkpoints:      h.Counter("stream.checkpoints"),
 		ckptErrors:       h.Counter("stream.checkpoint.errors"),
 		ckptBytes:        h.Counter("stream.checkpoint.bytes"),
+		corruptResets:    h.Counter("stream.checkpoint.corrupt_resets"),
 		transitions:      h.Counter("stream.breaker.transitions"),
 
 		ringDepth:         h.Gauge("stream.ring.depth"),

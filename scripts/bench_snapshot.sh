@@ -1,0 +1,32 @@
+#!/bin/sh
+# Benchmark snapshot: run the streaming-ingest and server-loopback
+# benchmarks and write a committable JSON snapshot (lines/sec, allocs/op,
+# ckpt-B/op per benchmark) so throughput can be tracked PR over PR.
+#
+#   scripts/bench_snapshot.sh [OUT.json]     default OUT: BENCH_PR6.json
+#
+# Benchmarks run once each (-benchtime=1x keeps the snapshot cheap enough
+# for CI; raise BENCHTIME for stabler numbers, e.g. BENCHTIME=5s).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR6.json}"
+BENCHTIME="${BENCHTIME:-1x}"
+
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+echo "==> go test -bench BenchmarkStreamIngest ./internal/stream (benchtime $BENCHTIME)"
+go test -run '^$' -bench '^BenchmarkStreamIngest$|^BenchmarkStreamIngestTelemetry$' \
+	-benchtime "$BENCHTIME" ./internal/stream | tee "$work/bench.txt"
+
+echo "==> go test -bench BenchmarkServerLoopback ./internal/server (benchtime $BENCHTIME)"
+go test -run '^$' -bench '^BenchmarkServerLoopback$' \
+	-benchtime "$BENCHTIME" ./internal/server | tee -a "$work/bench.txt"
+
+go run ./cmd/benchjson -label "pr6-server" -commit "$commit" \
+	<"$work/bench.txt" >"$OUT"
+
+echo "bench_snapshot: wrote $OUT"

@@ -7,12 +7,13 @@
 #   scripts/verify.sh          full: build + vet + race tests + telemetry
 #                              invariant tests + live /debug/vars endpoint
 #                              smoke + golden-digest check + crash-recovery
-#                              smoke + a 5s fuzz smoke pass per fuzz target
+#                              smoke + multi-tenant server smoke + a 5s
+#                              fuzz smoke pass per fuzz target
 #   scripts/verify.sh -short   fast: build + vet + `go test -short -race` +
-#                              a reduced crash-recovery smoke (skips the
-#                              long-running suites and the fuzz smokes; the
-#                              conformance differential matrix still runs
-#                              at reduced breadth)
+#                              reduced crash-recovery and server smokes
+#                              (skips the long-running suites and the fuzz
+#                              smokes; the conformance differential matrix
+#                              still runs at reduced breadth)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,6 +39,8 @@ if [ "$short" = 1 ]; then
 	go test -short -race ./...
 	echo "==> crash-recovery smoke (reduced)"
 	sh scripts/crash_smoke.sh Zookeeper 3000 2345
+	echo "==> multi-tenant server smoke (reduced)"
+	sh scripts/server_smoke.sh 800 600
 	echo "verify: OK (short)"
 	exit 0
 fi
@@ -53,6 +56,9 @@ sh scripts/telemetry_smoke.sh
 
 echo "==> crash-recovery smoke (scripts/crash_smoke.sh)"
 sh scripts/crash_smoke.sh
+
+echo "==> multi-tenant server smoke (scripts/server_smoke.sh)"
+sh scripts/server_smoke.sh
 
 echo "==> golden-digest check (cmd/conformgen -check)"
 go run ./cmd/conformgen -check >/dev/null
