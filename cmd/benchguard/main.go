@@ -1,0 +1,112 @@
+// Command benchguard compares a fresh benchjson snapshot against a
+// committed baseline and fails when throughput regressed: any benchmark
+// present in both documents whose guarded metric (default lines/sec, where
+// higher is better) dropped by more than the allowed fraction exits
+// non-zero, as does a baseline benchmark missing from the current run —
+// silently deleting a benchmark must not pass the guard.
+//
+//	benchguard -baseline BENCH_PR7.json -current fresh.json -max-regress 0.30
+//
+// Benchmarks without the guarded metric (alloc-only microbenches) are
+// ignored. Improvements are reported but never fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Label      string      `json:"label,omitempty"`
+	Commit     string      `json:"commit,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func load(path string) (document, error) {
+	var doc document
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed snapshot to guard against (required)")
+	current := flag.String("current", "", "fresh snapshot from scripts/bench_snapshot.sh (required)")
+	metric := flag.String("metric", "lines/sec", "higher-is-better metric to guard")
+	maxRegress := flag.Float64("max-regress", 0.30, "largest tolerated fractional drop, e.g. 0.30 = 30%")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline and -current are required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	curByName := make(map[string]benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curByName[b.Name] = b
+	}
+
+	failed := false
+	compared := 0
+	for _, b := range base.Benchmarks {
+		want, ok := b.Metrics[*metric]
+		if !ok || want <= 0 {
+			continue
+		}
+		cb, ok := curByName[b.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: present in %s (%s) but missing from current run\n",
+				b.Name, *baseline, base.Label)
+			failed = true
+			continue
+		}
+		got, ok := cb.Metrics[*metric]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: current run lost the %q metric\n", b.Name, *metric)
+			failed = true
+			continue
+		}
+		compared++
+		change := (got - want) / want
+		switch {
+		case change < -*maxRegress:
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: %s %.0f -> %.0f (%.1f%%, limit -%.0f%%)\n",
+				b.Name, *metric, want, got, change*100, *maxRegress*100)
+			failed = true
+		default:
+			fmt.Printf("benchguard: ok   %s: %s %.0f -> %.0f (%+.1f%%)\n",
+				b.Name, *metric, want, got, change*100)
+		}
+	}
+	if compared == 0 && !failed {
+		fmt.Fprintf(os.Stderr, "benchguard: no benchmark in %s carries the %q metric\n", *baseline, *metric)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d benchmarks within -%.0f%% of %s (%s)\n",
+		compared, *maxRegress*100, *baseline, base.Label)
+}

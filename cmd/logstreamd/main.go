@@ -232,7 +232,9 @@ func run() (int, error) {
 		}
 	}()
 
+	runStart := time.Now()
 	runErr := eng.Run(ctx)
+	runElapsed := time.Since(runStart)
 	switch {
 	case runErr == nil && interrupted:
 		fmt.Fprintf(os.Stderr, "logstreamd: interrupted; ring drained and state checkpointed at offset %d\n", eng.Stats().Offset)
@@ -249,7 +251,12 @@ func run() (int, error) {
 	}
 
 	if *showStats {
-		printStats(os.Stderr, eng.Stats())
+		st := eng.Stats()
+		printStats(os.Stderr, st)
+		if secs := runElapsed.Seconds(); secs > 0 && st.Processed > 0 {
+			fmt.Fprintf(os.Stderr, "logstreamd: throughput %.0f lines/sec (%d lines in %s)\n",
+				float64(st.Processed)/secs, st.Processed, runElapsed.Round(time.Millisecond))
+		}
 	}
 	if *digest {
 		fmt.Println(eng.Digest())

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 )
 
 // Wildcard is the token used in templates to mark a variable position.
@@ -244,6 +246,54 @@ func TemplateFromCluster(tokenSeqs [][]string) []string {
 // Tokenize splits message content into whitespace-delimited tokens. It is
 // the toolkit's canonical tokenisation; preprocessors operate on its output.
 func Tokenize(content string) []string { return strings.Fields(content) }
+
+// asciiSpace marks the ASCII bytes strings.Fields treats as whitespace.
+var asciiSpace = [256]bool{'\t': true, '\n': true, '\v': true, '\f': true, '\r': true, ' ': true}
+
+// TokenizeBytes is the allocation-free counterpart of Tokenize for the
+// streaming hot path: it splits line around runs of Unicode whitespace
+// exactly as strings.Fields does (byte-for-byte agreement is pinned by
+// FuzzTokenizeBytesEquivalence) and appends the tokens into buf[:0],
+// returning the extended slice. Tokens are subslices of line — they share
+// its backing array and are valid only while line is; callers that reuse
+// line buffers (pooled arenas, bufio views) must not retain the tokens
+// across lines. Pass the previous return value back as buf to amortise the
+// slice to zero allocations per call.
+func TokenizeBytes(line []byte, buf [][]byte) [][]byte {
+	tokens := buf[:0]
+	start := -1
+	for i := 0; i < len(line); {
+		if c := line[i]; c < utf8.RuneSelf {
+			if asciiSpace[c] {
+				if start >= 0 {
+					tokens = append(tokens, line[start:i])
+					start = -1
+				}
+			} else if start < 0 {
+				start = i
+			}
+			i++
+			continue
+		}
+		// Multi-byte rune: decode like strings.FieldsFunc does. An
+		// invalid sequence yields RuneError (size 1), which is not a
+		// space — identical to the string path.
+		r, size := utf8.DecodeRune(line[i:])
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				tokens = append(tokens, line[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+		i += size
+	}
+	if start >= 0 {
+		tokens = append(tokens, line[start:])
+	}
+	return tokens
+}
 
 // Retokenize fills in msg.Tokens for every message that does not have them
 // yet, returning the same slice for convenience.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -238,6 +239,32 @@ func ContentOf(line string) string {
 	return line
 }
 
+// ContentOfBytes is ContentOf without the string materialisation: the
+// returned content is a subslice of line (no copy, no allocation), decided
+// under exactly the FormatAuto rule. It is the streaming hot path's
+// counterpart; agreement with ContentOf is pinned by
+// FuzzTokenizeBytesEquivalence.
+func ContentOfBytes(line []byte) []byte {
+	t1 := bytes.IndexByte(line, '\t')
+	if t1 < 0 {
+		return line
+	}
+	rest := line[t1+1:]
+	t2 := bytes.IndexByte(rest, '\t')
+	if t2 < 0 {
+		return line
+	}
+	if validAnnotationFieldBytes(line[:t1]) && validAnnotationFieldBytes(rest[:t2]) {
+		return rest[t2+1:]
+	}
+	return line
+}
+
+// validAnnotationFieldBytes mirrors validAnnotationField on a byte slice.
+func validAnnotationFieldBytes(f []byte) bool {
+	return len(f) <= maxAnnotationField && bytes.IndexByte(f, ' ') < 0
+}
+
 // ReadLine reads one newline-terminated line of at most max content bytes,
 // accumulating across internal buffer refills. When the line is longer, the
 // first max bytes are returned with oversized=true and the remainder is
@@ -247,10 +274,45 @@ func ContentOf(line string) string {
 // a final unterminated line). It is shared between ReadMessagesOpts and the
 // streaming ingestion engine, which must tolerate the same line pathologies
 // without materialising the whole input.
+//
+// The returned slice may alias the reader's internal buffer and is valid
+// only until the next read from br — callers that keep the line must copy
+// it first (every caller in the toolkit materialises or arena-copies the
+// line before reading the next one).
 func ReadLine(br *bufio.Reader, max int) (line []byte, oversized bool, err error) {
+	return ReadLineInto(br, nil, max)
+}
+
+// ReadLineInto is ReadLine with an explicit scratch buffer: the common case
+// — a line that fits the reader's internal buffer — is returned as a direct
+// view into that buffer with zero copies and zero allocations, and only a
+// line spanning buffer refills is accumulated into scratch's backing array
+// (growing it when needed). Same aliasing contract as ReadLine: the result
+// is invalidated by the next read.
+func ReadLineInto(br *bufio.Reader, scratch []byte, max int) (line []byte, oversized bool, err error) {
+	frag, ferr := br.ReadSlice('\n')
+	if !errors.Is(ferr, bufio.ErrBufferFull) {
+		// Fast path: the whole line (or the terminal fragment) is one view
+		// into the reader's buffer.
+		if n := len(frag); n > 0 && frag[n-1] == '\n' {
+			frag = frag[:n-1]
+		}
+		total := len(frag)
+		if total > max {
+			frag = frag[:max]
+		}
+		if ferr == nil {
+			if n := len(frag); n > 0 && frag[n-1] == '\r' {
+				frag = frag[:n-1]
+			}
+		}
+		return frag, total > max, ferr
+	}
+	// Slow path: the line spans internal buffer refills; accumulate into
+	// scratch.
+	line = scratch[:0]
 	total := 0
 	for {
-		frag, ferr := br.ReadSlice('\n')
 		if n := len(frag); n > 0 && frag[n-1] == '\n' {
 			frag = frag[:n-1]
 		}
@@ -268,6 +330,7 @@ func ReadLine(br *bufio.Reader, max int) (line []byte, oversized bool, err error
 			}
 			return line, total > max, nil
 		case errors.Is(ferr, bufio.ErrBufferFull):
+			frag, ferr = br.ReadSlice('\n')
 			continue
 		default:
 			return line, total > max, ferr

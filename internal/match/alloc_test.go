@@ -1,0 +1,53 @@
+package match
+
+import (
+	"testing"
+
+	"logparse/internal/core"
+)
+
+// TestMatchBytesZeroAllocs pins the byte-path trie walk at zero allocations
+// per match, including the backtracking case where an exact edge dead-ends
+// and the wildcard edge wins. The map lookup children[string(tok)] relies
+// on the compiler's no-copy conversion for map indexing; a refactor that
+// hoists the conversion into a variable would silently reintroduce a
+// per-token allocation, which this test catches.
+func TestMatchBytesZeroAllocs(t *testing.T) {
+	m, err := New([]core.Template{
+		{ID: "T1", Tokens: []string{"connection", "from", "*", "port", "*"}},
+		{ID: "T2", Tokens: []string{"connection", "from", "10.0.0.1", "port", "closed"}},
+		{ID: "T3", Tokens: []string{"block", "*", "replicated", "to", "*", "nodes"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokenize := func(line string) [][]byte {
+		return core.TokenizeBytes([]byte(line), make([][]byte, 0, 8))
+	}
+	direct := tokenize("connection from 10.0.0.7 port 1042")
+	backtrack := tokenize("connection from 10.0.0.1 port 9") // T2 prefix dead-ends, wildcard T1 wins
+	miss := tokenize("no such event shape here at-all")
+
+	cases := []struct {
+		name    string
+		tokens  [][]byte
+		wantIdx int
+		wantOK  bool
+	}{
+		{"direct", direct, 0, true},
+		{"backtrack", backtrack, 0, true},
+		{"miss", miss, -1, false},
+	}
+	for _, tc := range cases {
+		fn := func() {
+			idx, ok := m.MatchBytes(tc.tokens)
+			if idx != tc.wantIdx || ok != tc.wantOK {
+				t.Fatalf("%s: MatchBytes = (%d, %v), want (%d, %v)", tc.name, idx, ok, tc.wantIdx, tc.wantOK)
+			}
+		}
+		fn()
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op on MatchBytes, want 0", tc.name, allocs)
+		}
+	}
+}

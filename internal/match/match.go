@@ -20,6 +20,13 @@ var ErrNoMatch = errors.New("match: no template matches")
 type node struct {
 	children map[string]*node
 	wildcard *node
+	// soleKey/soleChild cache the exact edge of nodes that have exactly one
+	// child — the overwhelmingly common shape once a walk is a few tokens
+	// deep. A direct string comparison there skips the map hash entirely,
+	// and on the byte path string(tok) == soleKey compiles without
+	// allocating. soleChild == nil means "consult the map".
+	soleKey   string
+	soleChild *node
 	// template is ≥0 when a template terminates at this node.
 	template int
 }
@@ -66,7 +73,26 @@ func New(templates []core.Template) (*Matcher, error) {
 		}
 		n.template = idx
 	}
+	for _, root := range m.root {
+		freeze(root)
+	}
 	return m, nil
+}
+
+// freeze caches the sole exact edge of every single-child node. The trie is
+// immutable after New, so the cache never goes stale.
+func freeze(n *node) {
+	if len(n.children) == 1 {
+		for k, c := range n.children {
+			n.soleKey, n.soleChild = k, c
+		}
+	}
+	for _, c := range n.children {
+		freeze(c)
+	}
+	if n.wildcard != nil {
+		freeze(n.wildcard)
+	}
 }
 
 // FromResult builds a matcher from a parse result's templates.
@@ -102,23 +128,102 @@ func (m *Matcher) Match(tokens []string) (core.Template, error) {
 }
 
 // matchFrom walks the trie with backtracking (exact edge first, then
-// wildcard). The trie is deduplicated, so backtracking touches each node at
+// wildcard). Nodes without a wildcard edge need no backtrack frame, so the
+// walk advances iteratively there and only recurses where a choice point
+// exists. The trie is deduplicated, so backtracking touches each node at
 // most once per position in the worst case.
 func matchFrom(n *node, tokens []string) int {
-	if len(tokens) == 0 {
-		return n.template
-	}
-	if child, ok := n.children[tokens[0]]; ok {
-		if idx := matchFrom(child, tokens[1:]); idx >= 0 {
-			return idx
+	for len(tokens) > 0 {
+		var child *node
+		if n.soleChild != nil {
+			if tokens[0] == n.soleKey {
+				child = n.soleChild
+			}
+		} else if c, ok := n.children[tokens[0]]; ok {
+			child = c
 		}
-	}
-	if n.wildcard != nil {
-		if idx := matchFrom(n.wildcard, tokens[1:]); idx >= 0 {
-			return idx
+		if n.wildcard == nil {
+			if child == nil {
+				return -1
+			}
+			n = child
+			tokens = tokens[1:]
+			continue
 		}
+		if child != nil {
+			if idx := matchFrom(child, tokens[1:]); idx >= 0 {
+				return idx
+			}
+		}
+		n = n.wildcard
+		tokens = tokens[1:]
 	}
-	return -1
+	return n.template
+}
+
+// MatchIndex is Match returning the template's build-order index instead of
+// the template itself, for callers that keep per-template state in a slice
+// parallel to Templates() and must not allocate on the hot path.
+func (m *Matcher) MatchIndex(tokens []string) (int, bool) {
+	root := m.root[len(tokens)]
+	if root == nil {
+		return -1, false
+	}
+	if idx := matchFrom(root, tokens); idx >= 0 {
+		return idx, true
+	}
+	return -1, false
+}
+
+// MatchBytes walks the trie over byte-slice tokens (core.TokenizeBytes
+// output) without materialising strings: the map lookup
+// children[string(tok)] compiles to a zero-allocation key conversion. The
+// walk, backtracking, and exact-over-wildcard tie-break are identical to
+// Match — a message matching both "a b" and "a *" maps to "a b" on both
+// paths. Returns the template's build-order index, or ok=false when no
+// template covers the sequence (the caller's slow path may then materialise
+// strings for the retrain buffer).
+func (m *Matcher) MatchBytes(tokens [][]byte) (int, bool) {
+	root := m.root[len(tokens)]
+	if root == nil {
+		return -1, false
+	}
+	if idx := matchBytesFrom(root, tokens); idx >= 0 {
+		return idx, true
+	}
+	return -1, false
+}
+
+// matchBytesFrom mirrors matchFrom over byte-slice tokens. Both the
+// soleKey comparison and the map lookup convert the token in place — the
+// compiler elides the []byte→string allocation for both forms.
+func matchBytesFrom(n *node, tokens [][]byte) int {
+	for len(tokens) > 0 {
+		var child *node
+		if n.soleChild != nil {
+			if string(tokens[0]) == n.soleKey {
+				child = n.soleChild
+			}
+		} else if c, ok := n.children[string(tokens[0])]; ok {
+			child = c
+		}
+		if n.wildcard == nil {
+			if child == nil {
+				return -1
+			}
+			n = child
+			tokens = tokens[1:]
+			continue
+		}
+		if child != nil {
+			if idx := matchBytesFrom(child, tokens[1:]); idx >= 0 {
+				return idx
+			}
+		}
+		n = n.wildcard
+		tokens = tokens[1:]
+	}
+	return n.template
 }
 
 // MatchContent tokenises content and matches it.

@@ -1,13 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
-	"strings"
 	"time"
 
 	"logparse/internal/stream"
@@ -82,12 +82,29 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, 0, "reading body: "+err.Error())
 		return
 	}
-	res, err := s.Ingest(tenantID, strings.Split(string(body), "\n"))
+	res, err := s.IngestBatch(r.Context(), tenantID, splitBatchLines(body))
 	if err != nil {
 		writeIngestErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ingestResponse{Tenant: tenantID, PushResult: res})
+}
+
+// splitBatchLines splits a newline-delimited batch body into per-line
+// subslices without materialising strings. Segment-for-segment it matches
+// strings.Split(body, "\n") — empty segments included, carriage returns
+// preserved — so the wire format (and every digest downstream of it) is
+// unchanged from the string path it replaces.
+func splitBatchLines(body []byte) [][]byte {
+	lines := make([][]byte, 0, bytes.Count(body, []byte{'\n'})+1)
+	for {
+		i := bytes.IndexByte(body, '\n')
+		if i < 0 {
+			return append(lines, body)
+		}
+		lines = append(lines, body[:i])
+		body = body[i+1:]
+	}
 }
 
 // writeIngestErr maps a typed ingest failure to its status code and

@@ -227,6 +227,27 @@ func (s *Server) shardFor(id string) *shard {
 // above, a stream.ErrNotServing (engine restarting after a panic — retry),
 // or a tenant's terminal serve error.
 func (s *Server) Ingest(tenantID string, lines []string) (stream.PushResult, error) {
+	return s.ingest(tenantID, countNonEmpty(lines), func(t *tenant) (stream.PushResult, error) {
+		return t.push(lines)
+	})
+}
+
+// IngestBatch is Ingest over raw line bytes — the zero-copy path behind the
+// newline-delimited HTTP batch body. Draining, quota, and accounting are
+// identical to Ingest; the lines reach the tenant's engine via
+// stream.Engine.PushBatch, which copies them into pooled arenas at
+// admission, so the caller may reuse the backing buffer once IngestBatch
+// returns. ctx bounds admission entry only (see PushBatch).
+func (s *Server) IngestBatch(ctx context.Context, tenantID string, lines [][]byte) (stream.PushResult, error) {
+	return s.ingest(tenantID, countNonEmptyBytes(lines), func(t *tenant) (stream.PushResult, error) {
+		return t.pushBatch(ctx, lines)
+	})
+}
+
+// ingest is the shared admission flow: draining check, tenant resolution,
+// quota charge for the n numbering-advancing lines, then the push and the
+// fleet-level accounting of its result.
+func (s *Server) ingest(tenantID string, n int, push func(*tenant) (stream.PushResult, error)) (stream.PushResult, error) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -237,7 +258,6 @@ func (s *Server) Ingest(tenantID string, lines []string) (stream.PushResult, err
 	if err != nil {
 		return stream.PushResult{}, err
 	}
-	n := countNonEmpty(lines)
 	if ok, retry, permanent := t.quota.take(n); !ok {
 		t.mu.Lock()
 		t.quotaRejected += int64(n)
@@ -246,7 +266,7 @@ func (s *Server) Ingest(tenantID string, lines []string) (stream.PushResult, err
 		s.tm.quotaRejected.Add(uint64(n))
 		return stream.PushResult{}, &QuotaError{RetryAfter: retry, Rejected: n, Permanent: permanent}
 	}
-	res, err := t.push(lines)
+	res, err := push(t)
 	s.accepted.Add(int64(res.Accepted))
 	s.skipped.Add(int64(res.Skipped))
 	s.shed.Add(int64(res.Shed))
@@ -259,6 +279,17 @@ func (s *Server) Ingest(tenantID string, lines []string) (stream.PushResult, err
 // countNonEmpty counts the lines that will advance the tenant's stream
 // numbering — the quota charges for real lines, not blank separators.
 func countNonEmpty(lines []string) int {
+	n := 0
+	for _, l := range lines {
+		if len(l) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// countNonEmptyBytes is countNonEmpty for the byte-batch path.
+func countNonEmptyBytes(lines [][]byte) int {
 	n := 0
 	for _, l := range lines {
 		if len(l) > 0 {

@@ -123,6 +123,19 @@ func (t *tenant) push(lines []string) (stream.PushResult, error) {
 	return eng.Push(lines)
 }
 
+// pushBatch forwards a byte batch to the tenant's current engine
+// incarnation.
+func (t *tenant) pushBatch(ctx context.Context, lines [][]byte) (stream.PushResult, error) {
+	t.mu.Lock()
+	eng := t.eng
+	terr := t.err
+	t.mu.Unlock()
+	if terr != nil {
+		return stream.PushResult{}, terr
+	}
+	return eng.PushBatch(ctx, lines)
+}
+
 // stop closes the tenant's input for a graceful drain.
 func (t *tenant) stop() {
 	t.mu.Lock()

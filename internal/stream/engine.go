@@ -39,6 +39,7 @@ type Engine struct {
 	templates []core.Template
 	counts    []int64
 	index     map[string]int // rendered template → index
+	tokBuf    [][]byte       // consumer's reusable token buffer
 	unmatched []string
 	offset    int64
 	ctrs      Counters
@@ -56,10 +57,12 @@ type Engine struct {
 
 	// Push-mode admission state (Serve/Push). pushMu is separate from mu
 	// because pushWait can block while the consumer needs mu to process.
-	pushMu   sync.Mutex
-	pushRing *ring
-	pushSeq  int64 // lines submitted to this incarnation, in push order
-	pushSkip int64 // lines at or below this offset are replay duplicates
+	pushMu    sync.Mutex
+	pushRing  *ring
+	pushSeq   int64 // lines submitted to this incarnation, in push order
+	pushSkip  int64 // lines at or below this offset are replay duplicates
+	pushLW    lineWriter
+	pushItems []item // PushBatch's reusable admission batch
 }
 
 // New builds an engine, restoring the newest trustworthy checkpoint from
@@ -274,39 +277,62 @@ func (e *Engine) Run(ctx context.Context) error {
 	return srcErr
 }
 
+// ingestBatch is the size lines are grouped into on their way through the
+// ring: producers flush admission per batch and the consumer drains per
+// batch, so ring lock and counter traffic is paid once per batch instead
+// of once per line. Batching never reorders lines or changes what is
+// admitted — it only amortises overhead.
+const ingestBatch = 64
+
 // consume drains the ring until it closes cleanly (nil — the source ended
 // or Stop was called and every admitted line has been processed) or ctx
 // ends (ctx.Err(), the crash path).
 func (e *Engine) consume(ctx context.Context, r *ring) error {
+	var batch [ingestBatch]item
 	for {
-		it, ok := r.pop()
+		n, ok := r.popBatch(batch[:])
 		if !ok {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			return nil // clean drain
 		}
-		if err := e.process(ctx, it); err != nil {
-			return err
+		if e.tm.ringDepth != nil {
+			d, _ := r.stats()
+			e.tm.ringDepth.Set(int64(d))
 		}
-		if e.cfg.AfterLine != nil {
-			e.cfg.AfterLine(it.lineNo)
+		for i := 0; i < n; i++ {
+			it := batch[i]
+			batch[i] = item{}
+			due := e.process(ctx, it)
+			it.release()
+			if e.cfg.AfterLine != nil {
+				e.cfg.AfterLine(it.lineNo)
+			}
+			if err := ctx.Err(); err != nil {
+				// The hook may hard-stop the engine mid-interval: abandon
+				// the rest of the batch like the ring abandons its buffer.
+				for j := i + 1; j < n; j++ {
+					batch[j].release()
+					batch[j] = item{}
+				}
+				return err
+			}
+			if due {
+				e.mu.Lock()
+				e.checkpointLocked()
+				e.mu.Unlock()
+			}
 		}
-		if err := ctx.Err(); err != nil {
-			return err // the hook may hard-stop the engine mid-interval
-		}
-		e.mu.Lock()
-		due := e.cfg.CheckpointEvery > 0 && e.sinceCkpt >= e.cfg.CheckpointEvery
-		if due {
-			e.checkpointLocked()
-		}
-		e.mu.Unlock()
 	}
 }
 
 // produce tails the source into the ring, skipping the first startOffset
 // lines (already durably processed). Line numbering excludes empty lines
-// and is therefore identical across replays.
+// and is therefore identical across replays. Lines are read as views into
+// the bufio buffer (core.ReadLineInto), copied once into pooled arenas,
+// and admitted ingestBatch at a time; per-line counter traffic is batched
+// alongside.
 func (e *Engine) produce(ctx context.Context, r *ring, startOffset int64, prodErr chan<- error) {
 	defer r.close()
 	rc, err := e.cfg.Open()
@@ -316,86 +342,134 @@ func (e *Engine) produce(ctx context.Context, r *ring, startOffset int64, prodEr
 	}
 	defer rc.Close()
 	br := bufio.NewReaderSize(rc, 64*1024)
-	var lineNo int64
+	var lw lineWriter
+	defer lw.close()
+	var lineNo, oversizedN int64
+	batch := make([]item, 0, ingestBatch)
+
+	// flush admits the pending batch and settles the batched counters,
+	// reporting false when the ring stopped (Stop or abort) and the
+	// producer should exit.
+	flush := func() bool {
+		if oversizedN > 0 {
+			e.mu.Lock()
+			e.ctrs.Oversized += oversizedN
+			e.mu.Unlock()
+			e.tm.oversized.Add(uint64(oversizedN))
+			oversizedN = 0
+		}
+		if len(batch) == 0 {
+			return true
+		}
+		var shed int
+		ok := true
+		if e.cfg.Policy == LoadShed {
+			inserted, stopped := r.pushAllTry(batch)
+			for i := inserted; i < len(batch); i++ {
+				batch[i].release()
+			}
+			if stopped {
+				ok = false // Stop or abort: no further input, nothing shed
+			} else {
+				shed = len(batch) - inserted
+			}
+		} else {
+			inserted, pok := r.pushAllWait(batch)
+			if !pok {
+				for i := inserted; i < len(batch); i++ {
+					batch[i].release()
+				}
+				ok = false
+			}
+		}
+		if shed > 0 {
+			e.mu.Lock()
+			e.ctrs.Shed += int64(shed)
+			e.mu.Unlock()
+			e.tm.shed.Add(uint64(shed))
+		}
+		for i := range batch {
+			batch[i] = item{}
+		}
+		batch = batch[:0]
+		return ok
+	}
+
 	for {
 		if ctx.Err() != nil {
 			return
 		}
-		raw, oversized, rerr := core.ReadLine(br, e.cfg.MaxLineBytes)
+		raw, oversized, rerr := core.ReadLineInto(br, nil, e.cfg.MaxLineBytes)
 		done := errors.Is(rerr, io.EOF)
 		if rerr != nil && !done {
+			flush()
 			prodErr <- fmt.Errorf("stream: read source: %w", rerr)
 			return
 		}
 		if len(raw) > 0 || oversized {
 			lineNo++
 			if lineNo > startOffset {
-				it := item{lineNo: lineNo, content: string(raw)}
 				if oversized {
-					e.mu.Lock()
-					e.ctrs.Oversized++
-					e.mu.Unlock()
-					e.tm.oversized.Inc()
+					oversizedN++
 				}
-				if e.cfg.Policy == LoadShed {
-					if !r.pushTry(it) {
-						if r.stopped() {
-							return // Stop or abort: no further input
-						}
-						e.mu.Lock()
-						e.ctrs.Shed++
-						e.mu.Unlock()
-						e.tm.shed.Inc()
-					}
-				} else if !r.pushWait(it) {
-					return // stopped or aborted
+				data, src := lw.add(raw)
+				batch = append(batch, item{lineNo: lineNo, data: data, src: src})
+				if len(batch) == ingestBatch && !flush() {
+					return
 				}
 			}
 		}
 		if done {
+			flush()
 			return
 		}
 	}
 }
 
 // process handles one admitted line: match it, or buffer it and possibly
-// retrain. Only retrain-chain context errors propagate (and only so the
-// run can stop promptly); every other retrain failure is absorbed by the
-// breaker.
-func (e *Engine) process(ctx context.Context, it item) error {
+// retrain. Retrain failures are absorbed by the breaker. The matched path
+// is allocation-free (pinned by TestProcessMatchedPathAllocs): content
+// extraction and tokenisation stay on it.data's bytes in the engine's
+// reusable token buffer, the trie walk compares byte slices in place, and
+// the matcher's build order equals e.templates order so the returned index
+// addresses e.counts directly. Strings are materialised only on the
+// unmatched slow path, where the line outlives the arena in the retrain
+// buffer. The return value reports whether a periodic checkpoint is due —
+// the consumer writes it after the AfterLine hook and the cancellation
+// check, preserving the hook's power to hard-stop the engine before the
+// interval's checkpoint lands.
+func (e *Engine) process(ctx context.Context, it item) (ckptDue bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.ctrs.Processed++
 	e.sinceCkpt++
 	e.offset = it.lineNo
 	e.tm.processed.Inc()
-	if e.tm.ringDepth != nil && e.ring != nil {
-		d, _ := e.ring.stats()
-		e.tm.ringDepth.Set(int64(d))
-	}
+	ckptDue = e.cfg.CheckpointEvery > 0 && e.sinceCkpt >= e.cfg.CheckpointEvery
 
-	content := core.ContentOf(it.content)
-	tokens := core.Tokenize(content)
+	content := core.ContentOfBytes(it.data)
+	e.tokBuf = core.TokenizeBytes(content, e.tokBuf)
+	tokens := e.tokBuf
 	if len(tokens) == 0 {
 		e.ctrs.Empty++
 		e.tm.empty.Inc()
-		return nil
+		return ckptDue
 	}
 	if e.matcher != nil {
-		if t, err := e.matcher.Match(tokens); err == nil {
-			e.counts[e.index[t.String()]]++
+		if idx, ok := e.matcher.MatchBytes(tokens); ok {
+			e.counts[idx]++
 			e.ctrs.Matched++
 			e.tm.matched.Inc()
-			return nil
+			return ckptDue
 		}
 	}
-	e.unmatched = append(e.unmatched, content)
+	e.unmatched = append(e.unmatched, string(content))
 	if len(e.unmatched) >= e.cfg.RetrainBatch {
 		e.retrainLocked(ctx)
 	}
 	e.capUnmatchedLocked()
 	e.tm.unmatchedBuffered.Set(int64(len(e.unmatched)))
-	return nil
+	return ckptDue
 }
 
 // retrainLocked attempts one retrain over the whole unmatched buffer,

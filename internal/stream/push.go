@@ -144,12 +144,14 @@ func (e *Engine) Push(lines []string) (PushResult, error) {
 			e.mu.Unlock()
 			e.tm.oversized.Inc()
 		}
-		it := item{lineNo: e.pushSeq, content: line}
+		data, src := e.pushLW.addString(line)
+		it := item{lineNo: e.pushSeq, data: data, src: src}
 		if e.cfg.Policy == LoadShed {
 			if r.pushTry(it) {
 				res.Accepted++
 				continue
 			}
+			it.release()
 			if r.stopped() {
 				return res, ErrNotServing
 			}
@@ -160,10 +162,118 @@ func (e *Engine) Push(lines []string) (PushResult, error) {
 			e.tm.shed.Inc()
 		} else {
 			if !r.pushWait(it) {
+				it.release()
 				return res, ErrNotServing
 			}
 			res.Accepted++
 		}
+	}
+	return res, nil
+}
+
+// PushBatch submits a batch of raw line bytes to a serving engine — the
+// allocation-disciplined sibling of Push for callers that already hold
+// bytes (the HTTP batch endpoint, file shippers). Semantics are identical
+// to Push: batches are atomic in order under the admission lock, empty
+// lines do not advance the numbering, lines at or below the restored
+// offset are skipped as replay duplicates, over-long lines are truncated
+// at MaxLineBytes, and a full ring blocks (Backpressure) or sheds
+// (LoadShed). Each admitted line is copied into a pooled arena at
+// admission, so the caller may reuse or free the backing of lines the
+// moment PushBatch returns; per-line the engine allocates nothing.
+//
+// ctx is consulted once at entry, never mid-batch: a batch that started
+// admission runs to completion (or to ErrNotServing), because a partial,
+// externally-aborted batch would leave the client unable to tell which
+// lines hold sequence numbers — replaying the whole batch would then
+// double-process the tail. ErrNotServing keeps Push's contract: retry the
+// whole batch against the next incarnation and the processed prefix is
+// skipped.
+func (e *Engine) PushBatch(ctx context.Context, lines [][]byte) (PushResult, error) {
+	if err := ctx.Err(); err != nil {
+		return PushResult{}, err
+	}
+	e.pushMu.Lock()
+	defer e.pushMu.Unlock()
+	var res PushResult
+	r := e.pushRing
+	if r == nil {
+		return res, ErrNotServing
+	}
+	var oversizedN int64
+	if e.pushItems == nil {
+		e.pushItems = make([]item, 0, ingestBatch)
+	}
+
+	// flush mirrors the file producer's batched admission; it reports
+	// false when the ring stopped and the push must fail with
+	// ErrNotServing.
+	flush := func() bool {
+		if oversizedN > 0 {
+			e.mu.Lock()
+			e.ctrs.Oversized += oversizedN
+			e.mu.Unlock()
+			e.tm.oversized.Add(uint64(oversizedN))
+			oversizedN = 0
+		}
+		batch := e.pushItems
+		if len(batch) == 0 {
+			return true
+		}
+		ok := true
+		if e.cfg.Policy == LoadShed {
+			inserted, stopped := r.pushAllTry(batch)
+			res.Accepted += inserted
+			for i := inserted; i < len(batch); i++ {
+				batch[i].release()
+			}
+			if stopped {
+				ok = false
+			} else if shed := len(batch) - inserted; shed > 0 {
+				res.Shed += shed
+				e.mu.Lock()
+				e.ctrs.Shed += int64(shed)
+				e.mu.Unlock()
+				e.tm.shed.Add(uint64(shed))
+			}
+		} else {
+			inserted, pok := r.pushAllWait(batch)
+			res.Accepted += inserted
+			if !pok {
+				for i := inserted; i < len(batch); i++ {
+					batch[i].release()
+				}
+				ok = false
+			}
+		}
+		for i := range batch {
+			batch[i] = item{}
+		}
+		e.pushItems = batch[:0]
+		return ok
+	}
+
+	for _, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
+		e.pushSeq++
+		if e.pushSeq <= e.pushSkip {
+			res.Skipped++
+			continue
+		}
+		if len(line) > e.cfg.MaxLineBytes {
+			line = line[:e.cfg.MaxLineBytes]
+			oversizedN++
+		}
+		data, src := e.pushLW.add(line)
+		e.pushItems = append(e.pushItems, item{lineNo: e.pushSeq, data: data, src: src})
+		if len(e.pushItems) == ingestBatch && !flush() {
+			return res, ErrNotServing
+		}
+	}
+	if !flush() {
+		return res, ErrNotServing
 	}
 	return res, nil
 }

@@ -3,11 +3,17 @@ package stream
 import "sync"
 
 // item is one admitted source line: its 1-based line number in the source
-// (empty lines excluded) and its raw content.
+// (empty lines excluded) and its raw content. data points into the pooled
+// arena src holds a reference on (or into a dedicated allocation when src
+// is nil); whoever consumes the item calls release when done with data.
 type item struct {
-	lineNo  int64
-	content string
+	lineNo int64
+	data   []byte
+	src    *arena
 }
+
+// release returns the item's share of its arena to the pool.
+func (it item) release() { it.src.release() }
 
 // ring is the fixed-capacity admission queue between the source-tailing
 // producer and the matching consumer. Its capacity is the engine's memory
@@ -49,6 +55,7 @@ func (r *ring) pushWait(it item) bool {
 		return false
 	}
 	r.insertLocked(it)
+	r.notEmpty.Signal()
 	return true
 }
 
@@ -61,16 +68,75 @@ func (r *ring) pushTry(it item) bool {
 		return false
 	}
 	r.insertLocked(it)
+	r.notEmpty.Signal()
 	return true
 }
 
+// insertLocked places the item; the caller signals notEmpty (once per
+// insert for the single-item pushers, once per batch for the batch pushers
+// — per-item signalling is a futex syscall each time the consumer sleeps,
+// and amortising it is a measurable share of the batch path's win).
 func (r *ring) insertLocked(it item) {
 	r.buf[(r.head+r.count)%len(r.buf)] = it
 	r.count++
 	if r.count > r.highWater {
 		r.highWater = r.count
 	}
-	r.notEmpty.Signal()
+}
+
+// pushAllWait inserts items in order, blocking whenever the ring is full.
+// It returns how many were inserted and ok=false when the ring stopped
+// (closed or aborted) before the batch finished — the caller still owns
+// (and must release) items[inserted:].
+func (r *ring) pushAllWait(items []item) (inserted int, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, it := range items {
+		if r.count == len(r.buf) && !r.aborted && !r.closed {
+			// Wake the consumer to drain what this batch inserted so far
+			// before sleeping — without this a batch larger than the free
+			// space would fill the ring and wait with the consumer still
+			// parked on notEmpty.
+			r.notEmpty.Signal()
+			for r.count == len(r.buf) && !r.aborted && !r.closed {
+				r.notFull.Wait()
+			}
+		}
+		if r.aborted || r.closed {
+			// close/abort broadcast notEmpty; the consumer drains without
+			// needing a signal from us.
+			return inserted, false
+		}
+		r.insertLocked(it)
+		inserted++
+	}
+	if inserted > 0 {
+		r.notEmpty.Signal()
+	}
+	return inserted, true
+}
+
+// pushAllTry inserts items in order until the ring is full, never blocking.
+// stopped=true means the ring accepts no further input (the caller exits
+// rather than counting the remainder as shed); otherwise items[inserted:]
+// were shed and remain owned by the caller.
+func (r *ring) pushAllTry(items []item) (inserted int, stopped bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.aborted || r.closed {
+		return 0, true
+	}
+	for _, it := range items {
+		if r.count == len(r.buf) {
+			break
+		}
+		r.insertLocked(it)
+		inserted++
+	}
+	if inserted > 0 {
+		r.notEmpty.Signal()
+	}
+	return inserted, false
 }
 
 // pop removes the oldest item, blocking while the ring is empty and still
@@ -91,6 +157,31 @@ func (r *ring) pop() (it item, ok bool) {
 	r.count--
 	r.notFull.Signal()
 	return it, true
+}
+
+// popBatch removes up to len(dst) oldest items into dst, blocking while the
+// ring is empty and still open. It returns at least one item whenever any
+// is available rather than waiting to fill dst — batching amortises the
+// lock, it must not add latency. ok=false means no more items will ever
+// come (aborted, or closed and fully drained).
+func (r *ring) popBatch(dst []item) (n int, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.count == 0 && !r.closed && !r.aborted {
+		r.notEmpty.Wait()
+	}
+	if r.aborted || r.count == 0 {
+		return 0, false
+	}
+	for n < len(dst) && r.count > 0 {
+		dst[n] = r.buf[r.head]
+		r.buf[r.head] = item{} // release the line for GC
+		r.head = (r.head + 1) % len(r.buf)
+		r.count--
+		n++
+	}
+	r.notFull.Broadcast()
+	return n, true
 }
 
 // close marks the end of the source; buffered items remain poppable.

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Bench regression guard: take a fresh benchmark snapshot and compare it
+# against the newest committed BENCH_PR*.json; fail when any benchmark's
+# lines/sec dropped more than 30%.
+#
+#   scripts/bench_check.sh [BASELINE.json]
+#
+# BENCHTIME (default 3x, matching bench_snapshot.sh — the comparison is
+# only meaningful when both sides ran the same protocol) trades run time
+# for stability; MAX_REGRESS (default 0.30) is the tolerated fractional
+# drop. A failing comparison is retried once on a second fresh snapshot
+# before the guard fails, so a single noisy-neighbour run does not block
+# CI. Not part of tier-1 verify — wall-clock benchmarks on shared runners
+# are too machine-dependent for a merge gate there; CI runs this as its
+# own job.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-$(ls BENCH_PR*.json | sort -V | tail -1)}"
+BENCHTIME="${BENCHTIME:-3x}"
+MAX_REGRESS="${MAX_REGRESS:-0.30}"
+export BENCHTIME
+
+if [ ! -f "$BASELINE" ]; then
+	echo "bench_check: baseline $BASELINE not found" >&2
+	exit 2
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+echo "==> bench_check: fresh snapshot vs $BASELINE (benchtime $BENCHTIME, limit -$(echo "$MAX_REGRESS" | awk '{printf "%.0f", $1*100}')%)"
+LABEL="check" scripts/bench_snapshot.sh "$work/current.json"
+
+if go run ./cmd/benchguard -baseline "$BASELINE" -current "$work/current.json" \
+	-max-regress "$MAX_REGRESS"; then
+	echo "bench_check: ok"
+	exit 0
+fi
+
+echo "==> bench_check: regression reported; retrying once on a fresh snapshot"
+LABEL="check-retry" scripts/bench_snapshot.sh "$work/retry.json"
+go run ./cmd/benchguard -baseline "$BASELINE" -current "$work/retry.json" \
+	-max-regress "$MAX_REGRESS"
+echo "bench_check: ok (after retry)"

@@ -3,16 +3,22 @@
 # benchmarks and write a committable JSON snapshot (lines/sec, allocs/op,
 # ckpt-B/op per benchmark) so throughput can be tracked PR over PR.
 #
-#   scripts/bench_snapshot.sh [OUT.json]     default OUT: BENCH_PR6.json
+#   scripts/bench_snapshot.sh [OUT.json]     default OUT: BENCH_PR7.json
 #
-# Benchmarks run once each (-benchtime=1x keeps the snapshot cheap enough
-# for CI; raise BENCHTIME for stabler numbers, e.g. BENCHTIME=5s).
+# LABEL sets the label recorded in the document (default pr7-bytes).
+# Benchmarks run three iterations each (-benchtime=3x): one iteration is
+# hostage to scheduler noise on shared runners and still carries one-time
+# warm-up allocations; three average that out while staying cheap enough
+# for CI. bench_check.sh compares fresh runs against the committed snapshot
+# and must use the same protocol. Raise BENCHTIME for stabler local
+# numbers, e.g. BENCHTIME=5s.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR6.json}"
-BENCHTIME="${BENCHTIME:-1x}"
+OUT="${1:-BENCH_PR7.json}"
+LABEL="${LABEL:-pr7-bytes}"
+BENCHTIME="${BENCHTIME:-3x}"
 
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 work="$(mktemp -d)"
@@ -26,7 +32,7 @@ echo "==> go test -bench BenchmarkServerLoopback ./internal/server (benchtime $B
 go test -run '^$' -bench '^BenchmarkServerLoopback$' \
 	-benchtime "$BENCHTIME" ./internal/server | tee -a "$work/bench.txt"
 
-go run ./cmd/benchjson -label "pr6-server" -commit "$commit" \
+go run ./cmd/benchjson -label "$LABEL" -commit "$commit" \
 	<"$work/bench.txt" >"$OUT"
 
 echo "bench_snapshot: wrote $OUT"
