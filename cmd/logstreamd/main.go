@@ -111,6 +111,9 @@ func run() (int, error) {
 		maxBody        = flag.Int64("max-body", 1<<20, "ingest request body cap in bytes (-listen mode)")
 		reqTimeout     = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (-listen mode)")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline: drain rings + checkpoint every tenant (-listen mode)")
+		walOn          = flag.Bool("wal", false, "per-tenant write-ahead log: acknowledged batches survive kill -9 without client replay (-listen mode)")
+		walSync        = flag.String("wal-sync", "batch", "WAL durability policy: batch (one fsync per acknowledged batch) or none (flush only; survives process kill, not power loss)")
+		walSegBytes    = flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
 
 		debugAddr     = flag.String("debug-addr", "", "serve /debug/vars (stream.* metrics) and /debug/pprof on this address (e.g. :6060; empty = off)")
 		debugAddrFile = flag.String("debug-addr-file", "", "write the bound debug address to this file (useful with -debug-addr :0)")
@@ -132,6 +135,7 @@ func run() (int, error) {
 			ring: *ring, ckptEvery: *ckptEvery, retrainBatch: *retrainBatch,
 			maxUnmatched: *maxUnmatched, policy: *policy,
 			primary: *primary, support: *support, seed: *seed,
+			wal: *walOn, walSync: *walSync, walSegBytes: *walSegBytes,
 			debugAddr: *debugAddr, debugAddrFile: *debugAddrFile,
 		})
 	}
@@ -284,6 +288,10 @@ type serverOpts struct {
 	support                                     int
 	seed                                        int64
 
+	wal         bool
+	walSync     string
+	walSegBytes int64
+
 	debugAddr, debugAddrFile string
 }
 
@@ -301,6 +309,16 @@ func runServer(o serverOpts) (int, error) {
 		return 2, fmt.Errorf("unknown -policy %q (want backpressure or shed)", o.policy)
 	}
 
+	var sync stream.WALSyncPolicy
+	switch o.walSync {
+	case "", "batch":
+		sync = stream.WALSyncBatch
+	case "none":
+		sync = stream.WALSyncNone
+	default:
+		return 2, fmt.Errorf("unknown -wal-sync %q (want batch or none)", o.walSync)
+	}
+
 	var tel *logparse.Telemetry
 	if o.debugAddr != "" {
 		tel = logparse.NewTelemetry()
@@ -312,12 +330,15 @@ func runServer(o serverOpts) (int, error) {
 	srv, err := server.New(server.Config{
 		CheckpointRoot: o.ckptRoot,
 		Shards:         o.shards,
+		WAL:            o.wal,
 		Stream: stream.Config{
 			RingCapacity:    o.ring,
 			Policy:          pol,
 			CheckpointEvery: o.ckptEvery,
 			RetrainBatch:    o.retrainBatch,
 			MaxUnmatched:    o.maxUnmatched,
+			WALSync:         sync,
+			WALSegmentBytes: o.walSegBytes,
 		},
 		NewRetrainer: func(tenant string) (stream.Retrainer, error) {
 			return logparse.NewStreamRetrainer(o.primary,

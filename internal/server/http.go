@@ -112,7 +112,14 @@ func splitBatchLines(body []byte) [][]byte {
 func writeIngestErr(w http.ResponseWriter, err error) {
 	var qe *QuotaError
 	var tie *TenantIDError
+	var we *stream.WALError
 	switch {
+	case errors.As(err, &we):
+		// The tenant's write-ahead log failed mid-batch: nothing in this
+		// batch was acknowledged, and the supervisor is rebuilding the
+		// engine (reopening the WAL repairs it). The client replays the
+		// whole batch; the durable prefix is skipped as duplicates.
+		writeErr(w, http.StatusServiceUnavailable, 1, we.Error()+"; replay the batch")
 	case errors.As(err, &qe):
 		if qe.Permanent {
 			writeErr(w, http.StatusRequestEntityTooLarge, 0, qe.Error())

@@ -261,8 +261,20 @@ func benchBatch(tb testing.TB, tenantIdx, n int) string {
 // loopback HTTP: request decoding, quota, push admission, matching,
 // retraining, checkpoint cadence, and the closing drain. lines/sec is the
 // aggregate fleet throughput.
-func BenchmarkServerLoopback(b *testing.B) {
-	const tenants, batchLines = 4, 500
+func BenchmarkServerLoopback(b *testing.B) { benchServerLoopback(b, false) }
+
+// BenchmarkServerLoopbackWAL is BenchmarkServerLoopback's durability-on
+// twin: every acknowledged batch additionally pays a per-tenant WAL append
+// plus one group-commit fsync. Comparing lines/sec against the plain run
+// prices the zero-loss acknowledgment contract.
+func BenchmarkServerLoopbackWAL(b *testing.B) { benchServerLoopback(b, true) }
+
+func benchServerLoopback(b *testing.B, wal bool) {
+	// rounds batches per op keep the one-time per-tenant costs (engine
+	// build, WAL segment creation, shutdown truncation) from dominating
+	// lines/sec at the snapshot protocol's small iteration counts: the
+	// metric is steady-state ingest throughput, not tenant cold start.
+	const tenants, batchLines, rounds = 4, 500, 8
 	bodies := make([]string, tenants)
 	for i := range bodies {
 		bodies[i] = benchBatch(b, i, batchLines)
@@ -274,6 +286,7 @@ func BenchmarkServerLoopback(b *testing.B) {
 	s, err := New(Config{
 		CheckpointRoot: b.TempDir(),
 		Shards:         4,
+		WAL:            wal,
 		Stream: stream.Config{
 			RingCapacity:    1024,
 			CheckpointEvery: 5000,
@@ -289,15 +302,17 @@ func BenchmarkServerLoopback(b *testing.B) {
 	b.StartTimer()
 
 	for i := 0; i < b.N; i++ {
-		tenant := fmt.Sprintf("bench-%d", i%tenants)
-		resp, err := client.Post(ts.URL+"/v1/ingest?tenant="+tenant, "text/plain",
-			strings.NewReader(bodies[i%tenants]))
-		if err != nil {
-			b.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			b.Fatalf("ingest = %d", resp.StatusCode)
+		for r := 0; r < rounds; r++ {
+			k := (i*rounds + r) % tenants
+			resp, err := client.Post(ts.URL+"/v1/ingest?tenant="+fmt.Sprintf("bench-%d", k),
+				"text/plain", strings.NewReader(bodies[k]))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("ingest = %d", resp.StatusCode)
+			}
 		}
 	}
 	// The drain is part of the cost: lines/sec means processed, not
@@ -310,6 +325,6 @@ func BenchmarkServerLoopback(b *testing.B) {
 	b.StopTimer()
 	ts.Close()
 	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
-		b.ReportMetric(float64(b.N*batchLines)/elapsed, "lines/sec")
+		b.ReportMetric(float64(b.N*rounds*batchLines)/elapsed, "lines/sec")
 	}
 }

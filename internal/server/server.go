@@ -70,10 +70,18 @@ type Config struct {
 	// across (default 4).
 	Shards int
 	// Stream is the engine template applied to every tenant. Open,
-	// CheckpointDir and Now are overwritten per tenant; everything else
-	// (ring capacity, checkpoint cadence, retrain batch, policy, breaker)
-	// is copied. The zero value means the stream package defaults.
+	// CheckpointDir, WALDir and Now are overwritten per tenant; everything
+	// else (ring capacity, checkpoint cadence, retrain batch, policy,
+	// breaker, WAL sync policy and segment size) is copied. The zero value
+	// means the stream package defaults.
 	Stream stream.Config
+	// WAL enables a per-tenant write-ahead log under
+	// <root>/tenants/<T>/wal: every acknowledged ingest batch is durable
+	// before its 200, and a restarted server replays each tenant's WAL
+	// tail beyond its checkpoint — no acknowledged line is lost to a
+	// kill -9, without waiting on client replay. The durability knobs
+	// (Stream.WALSync, Stream.WALSegmentBytes) come from the template.
+	WAL bool
 	// NewRetrainer builds a tenant's retrainer (nil = the stream default,
 	// or Stream.Retrainer shared across tenants if set). Per-tenant
 	// retrainers keep one tenant's poisoned retrain input out of its
@@ -339,6 +347,10 @@ func (s *Server) createTenant(sh *shard, id string) (*tenant, error) {
 	cfg := s.cfg.Stream // copy of the template
 	cfg.Open = nil
 	cfg.CheckpointDir = s.tenantDir(id)
+	cfg.WALDir = "" // never share one WAL across tenants
+	if s.cfg.WAL {
+		cfg.WALDir = filepath.Join(s.tenantDir(id), "wal")
+	}
 	if cfg.Now == nil {
 		cfg.Now = s.now
 	}

@@ -30,6 +30,7 @@ func (sh *shard) stats() ShardStats {
 		t.mu.Lock()
 		st.Panics += t.panics
 		st.Restarts += t.restarts
+		st.WALFailures += t.walFailures
 		t.mu.Unlock()
 	}
 	return st
@@ -48,14 +49,23 @@ type tenant struct {
 	err           error // terminal serve error (nil while healthy)
 	panics        int64
 	restarts      int64
+	walFailures   int64
 	quotaRejected int64
 	stopping      bool
 
 	done chan struct{} // closed when the supervisor exits
 }
 
-// supervise runs the tenant's serve loop, absorbing panics by rebuilding
-// the engine from its newest trustworthy checkpoint. It exits on graceful
+// maxWALRestarts caps how many write-ahead-log failures one tenant may
+// absorb over its lifetime before the supervisor declares it terminal: a
+// WAL that keeps failing after rebuilds (disk full, dead device) is not
+// going to heal by reopening, and each restart re-runs a full replay.
+const maxWALRestarts = 8
+
+// supervise runs the tenant's serve loop, absorbing panics and
+// write-ahead-log failures by rebuilding the engine from its newest
+// trustworthy checkpoint (reopening the WAL repairs its torn tail, and the
+// new incarnation replays the surviving records). It exits on graceful
 // stop (clean drain + closing checkpoint), on ctx cancellation (the crash
 // model), or on a terminal error (recorded in t.err).
 func (t *tenant) supervise(ctx context.Context) {
@@ -66,7 +76,35 @@ func (t *tenant) supervise(ctx context.Context) {
 		t.mu.Unlock()
 
 		pv, err := t.serveOnce(ctx, eng)
-		if pv == nil {
+		var cause string
+		var walErr *stream.WALError
+		switch {
+		case pv != nil:
+			// A panic unwound the consumer: everything in that
+			// incarnation's ring is gone (clients replay it), but the
+			// checkpoints survive.
+			t.srv.tm.panics.Inc()
+			t.mu.Lock()
+			t.panics++
+			t.mu.Unlock()
+			cause = fmt.Sprintf("panic (%v)", pv)
+		case errors.As(err, &walErr):
+			// The WAL failed mid-write: the batch that observed it was
+			// never acknowledged, progress is checkpointed, and a rebuild
+			// reopens (and repairs) the log.
+			t.srv.tm.walFailures.Inc()
+			t.mu.Lock()
+			t.walFailures++
+			n := t.walFailures
+			t.mu.Unlock()
+			if n > maxWALRestarts {
+				t.mu.Lock()
+				t.err = fmt.Errorf("write-ahead log failed %d times; tenant is terminal: %w", n, walErr)
+				t.mu.Unlock()
+				return
+			}
+			cause = "wal failure"
+		default:
 			if err != nil && !errors.Is(err, context.Canceled) {
 				t.mu.Lock()
 				t.err = err
@@ -75,11 +113,7 @@ func (t *tenant) supervise(ctx context.Context) {
 			return
 		}
 
-		// A panic unwound the consumer: everything in that incarnation's
-		// ring is gone (clients replay it), but the checkpoints survive.
-		t.srv.tm.panics.Inc()
 		t.mu.Lock()
-		t.panics++
 		stopping := t.stopping
 		t.mu.Unlock()
 		if ctx.Err() != nil || stopping {
@@ -88,7 +122,7 @@ func (t *tenant) supervise(ctx context.Context) {
 		next, nerr := stream.New(t.engCfg)
 		if nerr != nil {
 			t.mu.Lock()
-			t.err = fmt.Errorf("restart after panic (%v): %w", pv, nerr)
+			t.err = fmt.Errorf("restart after %s: %w", cause, nerr)
 			t.mu.Unlock()
 			return
 		}
@@ -154,6 +188,7 @@ func (t *tenant) stats() TenantStats {
 		Shard:         t.shardID,
 		Panics:        t.panics,
 		Restarts:      t.restarts,
+		WALFailures:   t.walFailures,
 		QuotaRejected: t.quotaRejected,
 	}
 	if t.err != nil {
@@ -176,9 +211,12 @@ type TenantStats struct {
 	// quantity the kill-and-recover equivalence compares.
 	Digest string `json:"digest"`
 	// Panics and Restarts count consumer panics absorbed and engine
-	// incarnations rebuilt from checkpoints.
-	Panics   int64 `json:"panics"`
-	Restarts int64 `json:"restarts"`
+	// incarnations rebuilt from checkpoints; WALFailures counts the
+	// restarts caused by a write-ahead-log failure (capped at
+	// maxWALRestarts before the tenant goes terminal).
+	Panics      int64 `json:"panics"`
+	Restarts    int64 `json:"restarts"`
+	WALFailures int64 `json:"wal_failures"`
 	// QuotaRejected counts lines refused by the admission quota.
 	QuotaRejected int64 `json:"quota_rejected"`
 	// Error is the tenant's terminal serve error, empty while healthy.
@@ -187,10 +225,11 @@ type TenantStats struct {
 
 // ShardStats aggregates one shard.
 type ShardStats struct {
-	Shard    int   `json:"shard"`
-	Tenants  int   `json:"tenants"`
-	Panics   int64 `json:"panics"`
-	Restarts int64 `json:"restarts"`
+	Shard       int   `json:"shard"`
+	Tenants     int   `json:"tenants"`
+	Panics      int64 `json:"panics"`
+	Restarts    int64 `json:"restarts"`
+	WALFailures int64 `json:"wal_failures"`
 }
 
 // Stats is the fleet snapshot.

@@ -15,6 +15,7 @@ type serverTelemetry struct {
 	quotaRejected *telemetry.Counter // server.lines.quota_rejected
 	panics        *telemetry.Counter // server.engine.panics — consumer panics absorbed
 	restarts      *telemetry.Counter // server.engine.restarts — engines rebuilt from checkpoints
+	walFailures   *telemetry.Counter // server.engine.wal_failures — restarts caused by WAL failures
 	corruptResets *telemetry.Counter // server.engine.corrupt_resets — tenants started empty over rotted state
 	tenants       *telemetry.Gauge   // server.tenants — live tenant count
 }
@@ -28,6 +29,7 @@ func newServerTelemetry(h *telemetry.Handle) serverTelemetry {
 		quotaRejected: h.Counter("server.lines.quota_rejected"),
 		panics:        h.Counter("server.engine.panics"),
 		restarts:      h.Counter("server.engine.restarts"),
+		walFailures:   h.Counter("server.engine.wal_failures"),
 		corruptResets: h.Counter("server.engine.corrupt_resets"),
 		tenants:       h.Gauge("server.tenants"),
 	}

@@ -73,6 +73,70 @@ func BenchmarkStreamIngest(b *testing.B) {
 	b.Run("no-periodic-checkpoint", func(b *testing.B) { benchIngest(b, n, -1) })
 }
 
+// benchPushBatch drives one push-mode serve incarnation over n synthetic
+// lines in 500-line acknowledged batches, with or without the write-ahead
+// log. The timed region spans admission through the closing drain, so
+// lines/sec means processed — and, with the WAL on, durably acknowledged.
+func benchPushBatch(b *testing.B, wal bool) {
+	const n = 20000
+	lines := synthLines(n, 99)
+	byteLines := make([][]byte, len(lines))
+	for i, l := range lines {
+		byteLines[i] = []byte(l)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := Config{
+			CheckpointDir:   b.TempDir(),
+			RingCapacity:    1024,
+			CheckpointEvery: 5000,
+			RetrainBatch:    64,
+			Retrainer:       &groupMiner{},
+		}
+		if wal {
+			cfg.WALDir = b.TempDir()
+		}
+		e, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- e.Serve(ctx) }()
+		if err := e.WaitServing(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for off := 0; off < n; off += 500 {
+			if _, err := e.PushBatch(ctx, byteLines[off:off+500]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		e.Stop()
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		cancel()
+	}
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(n*b.N)/elapsed, "lines/sec")
+	}
+}
+
+// BenchmarkStreamPushBatch measures push-mode ingestion throughput —
+// admission, matching, retraining, checkpoint cadence and the closing
+// drain — without durability.
+func BenchmarkStreamPushBatch(b *testing.B) { benchPushBatch(b, false) }
+
+// BenchmarkStreamPushBatchWAL is BenchmarkStreamPushBatch's durability-on
+// twin: each acknowledged batch additionally pays its WAL appends plus one
+// group-commit fsync. The lines/sec gap against the plain run is the price
+// of the zero-loss acknowledgment contract.
+func BenchmarkStreamPushBatchWAL(b *testing.B) { benchPushBatch(b, true) }
+
 // BenchmarkStreamIngestTelemetry is BenchmarkStreamIngest's telemetry-on
 // twin at the default cadence; comparing lines/sec against the plain run
 // bounds the instrumentation overhead on the per-line hot path.

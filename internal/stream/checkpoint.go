@@ -9,9 +9,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+
+	"logparse/internal/telemetry"
 )
 
 // Checkpoint file layout (version 1):
@@ -125,6 +129,16 @@ type Store struct {
 	// wrap intercepts the payload writer; the fault-injection seam for
 	// torn-write testing.
 	wrap func(io.Writer) io.Writer
+	// dirsyncErrs counts directory-fsync failures (nil-safe); the engine
+	// wires it to stream.checkpoint.dirsync_errors.
+	dirsyncErrs *telemetry.Counter
+	// dirsyncOnce gates the one log line a failing directory fsync gets:
+	// the condition is persistent (filesystem without dir fsync, deleted
+	// dir), so repeating it per checkpoint would be noise.
+	dirsyncOnce sync.Once
+	// logf emits that line; tests substitute a recorder. Defaults to
+	// log.Printf.
+	logf func(format string, args ...any)
 }
 
 // NewStore opens (creating if needed) a checkpoint directory.
@@ -189,12 +203,30 @@ func (s *Store) Save(st *State) error {
 	return nil
 }
 
-// syncDir best-effort fsyncs the directory so the renames are durable.
+// syncDir fsyncs the directory so the renames are durable. The rename
+// itself already published the new generation; a directory-fsync failure
+// only narrows the window in which a power cut could resurrect the old
+// one — so the checkpoint still succeeds, but the failure is surfaced
+// (logged once, counted every time) instead of silently swallowed.
 func (s *Store) syncDir() {
-	if d, err := os.Open(s.dir); err == nil {
-		d.Sync()
-		d.Close()
+	d, err := os.Open(s.dir)
+	if err == nil {
+		err = d.Sync()
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
 	}
+	if err == nil {
+		return
+	}
+	s.dirsyncErrs.Inc()
+	s.dirsyncOnce.Do(func() {
+		logf := s.logf
+		if logf == nil {
+			logf = log.Printf
+		}
+		logf("stream: checkpoint directory fsync failed (reported once; counted in stream.checkpoint.dirsync_errors): %v", err)
+	})
 }
 
 // Load returns the newest trustworthy state: the current generation, or —

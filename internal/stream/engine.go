@@ -14,6 +14,7 @@ import (
 	"logparse/internal/match"
 	"logparse/internal/parsers/slct"
 	"logparse/internal/robust"
+	"logparse/internal/stream/wal"
 )
 
 // ErrAlreadyRunning is returned by Run when the engine is mid-run.
@@ -54,6 +55,15 @@ type Engine struct {
 	recoveryErr   error // non-nil after a corrupt-reset start (*AllCorruptError)
 	ring          *ring
 	running       bool
+	serveEnded    bool  // a Serve call has returned (WaitServing stops waiting)
+	walReplayed   int64 // WAL records re-admitted at Serve start, process lifetime
+	walErr        error // the WAL failure that ended the current incarnation
+
+	// wal is the push-mode write-ahead log (nil when Config.WALDir is
+	// empty); walInfo is what opening it found and repaired. Both are
+	// immutable after New; the WAL itself is internally locked.
+	wal     *wal.WAL
+	walInfo wal.OpenInfo
 
 	// Push-mode admission state (Serve/Push). pushMu is separate from mu
 	// because pushWait can block while the consumer needs mu to process.
@@ -128,6 +138,28 @@ func New(cfg Config) (*Engine, error) {
 			return wrapped
 		}
 	}
+	// The checkpoint dirsync fix (see Store.syncDir): surface directory-
+	// fsync failures instead of swallowing them.
+	store.dirsyncErrs = e.tm.dirsyncErrors
+
+	if cfg.WALDir != "" {
+		w, winfo, err := wal.Open(wal.Options{
+			Dir:          cfg.WALDir,
+			SegmentBytes: cfg.WALSegmentBytes,
+			BufferBytes:  cfg.WALBufferBytes,
+			Sync:         cfg.WALSync,
+			WrapSegment:  cfg.WALSegment,
+			Hook:         cfg.WALHook,
+			Telemetry:    cfg.Telemetry,
+			Now:          cfg.Now,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stream: open wal: %w", err)
+		}
+		e.wal = w
+		e.walInfo = winfo
+	}
+
 	st, info, err := store.Load()
 	if err != nil {
 		var all *AllCorruptError
@@ -611,6 +643,15 @@ func (e *Engine) checkpointLocked() error {
 	e.sinceCkpt = 0
 	e.lastCkpt = e.now()
 	e.haveCkpt = true
+	if e.wal != nil && e.offset > 0 {
+		// The checkpoint now durably covers every line through e.offset;
+		// WAL segments entirely below it are redundant. A truncation
+		// failure is garbage-collection debt, not a durability problem —
+		// count it and keep serving.
+		if terr := e.wal.TruncateThrough(uint64(e.offset)); terr != nil {
+			e.tm.walTruncErrors.Inc()
+		}
+	}
 	return nil
 }
 
@@ -673,6 +714,17 @@ func (e *Engine) Stats() Stats {
 	}
 	if e.ring != nil {
 		s.RingDepth, s.RingHighWater = e.ring.stats()
+	}
+	if e.wal != nil {
+		s.WALEnabled = true
+		s.WALLastSeq = int64(e.wal.LastSeq())
+		s.WALSegments = e.wal.Segments()
+		s.WALReplayed = e.walReplayed
+		s.WALTornTails = e.walInfo.TornTails
+		s.WALCorruptDropped = e.walInfo.CorruptDropped
+		if e.walErr != nil {
+			s.WALError = e.walErr.Error()
+		}
 	}
 	s.LinesIn = s.Processed + s.Shed + int64(s.RingDepth)
 	return s

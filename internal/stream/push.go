@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"errors"
+	"sync"
 	"time"
 )
 
@@ -11,6 +12,24 @@ import (
 // incarnation crashed. The caller should back off briefly and retry (a
 // supervisor may be rebuilding the engine from its checkpoint).
 var ErrNotServing = errors.New("stream: engine is not serving")
+
+// WALError reports a write-ahead-log failure that ended the serve
+// incarnation: the push that observed it was NOT acknowledged (the client
+// must replay the whole batch), progress up to the failure is
+// checkpointed, and recovery is a fresh engine over the same directories
+// — wal.Open repairs the torn tail and Serve replays the surviving
+// records. The server's supervisor treats it like a panic: rebuild and
+// resume.
+type WALError struct{ Err error }
+
+func (e *WALError) Error() string { return "stream: write-ahead log failed: " + e.Err.Error() }
+
+// Unwrap exposes the underlying WAL failure to errors.Is/As.
+func (e *WALError) Unwrap() error { return e.Err }
+
+// errReplayStopped marks a WAL replay cut short because the incarnation's
+// ring stopped under it — the incarnation is ending, not the WAL failing.
+var errReplayStopped = errors.New("stream: wal replay stopped")
 
 // PushResult reports what happened to one pushed batch, line by line.
 type PushResult struct {
@@ -45,29 +64,50 @@ func (e *Engine) Serve(ctx context.Context) error {
 		return ErrAlreadyRunning
 	}
 	e.running = true
+	e.serveEnded = false
 	r := newRing(e.cfg.RingCapacity)
 	e.ring = r
 	start := e.offset
 	e.mu.Unlock()
 
-	e.pushMu.Lock()
-	e.pushRing = r
-	e.pushSeq = 0
-	e.pushSkip = start
-	e.pushMu.Unlock()
+	var replayWG sync.WaitGroup
+	if e.wal != nil {
+		// With a WAL, push-ring publication is deferred to the replay
+		// goroutine: every surviving WAL record beyond the checkpoint is
+		// re-admitted first (the consumer below drains it concurrently),
+		// and only then do new pushes get in — so recovered lines keep
+		// their original positions ahead of new traffic. Until
+		// publication, Push returns ErrNotServing and WaitServing waits.
+		replayWG.Add(1)
+		go func() {
+			defer replayWG.Done()
+			e.replayWAL(r, start)
+		}()
+	} else {
+		e.pushMu.Lock()
+		e.pushRing = r
+		e.pushSeq = 0
+		e.pushSkip = start
+		e.pushMu.Unlock()
+	}
 
 	defer func() {
 		// Abort BEFORE taking pushMu: a pusher blocked mid-batch in
 		// pushWait is holding pushMu, and after a panic unwound the
 		// consumer nobody is left to free a ring slot — the abort is what
 		// wakes it to release the lock. (Locking first deadlocks the
-		// unwind against the blocked pusher.)
+		// unwind against the blocked pusher.) The abort also stops a
+		// replay still in flight; waiting for its goroutine before
+		// clearing pushRing keeps a late publication from leaking a dead
+		// incarnation's ring.
 		r.abort()
+		replayWG.Wait()
 		e.pushMu.Lock()
 		e.pushRing = nil
 		e.pushMu.Unlock()
 		e.mu.Lock()
 		e.running = false
+		e.serveEnded = true
 		e.mu.Unlock()
 	}()
 
@@ -84,7 +124,73 @@ func (e *Engine) Serve(ctx context.Context) error {
 	if err := e.consume(ctx, r); err != nil {
 		return err
 	}
-	return e.Checkpoint()
+	// A WAL failure ends the incarnation through an abort with a live
+	// ctx, which drains through the nil path above. Checkpoint the
+	// progress that was made (a superset of what clients saw acknowledged
+	// is consistent), then surface the failure so a supervisor rebuilds
+	// the engine — reopening the WAL is what repairs the damage.
+	cerr := e.Checkpoint()
+	e.mu.Lock()
+	werr := e.walErr
+	e.mu.Unlock()
+	if werr != nil {
+		return &WALError{Err: werr}
+	}
+	return cerr
+}
+
+// replayWAL re-admits the WAL tail beyond the restored checkpoint into
+// the incarnation's ring, then publishes the ring for new pushes. Runs as
+// Serve's recovery goroutine; the consumer drains concurrently, so a tail
+// larger than the ring still replays under bounded memory.
+func (e *Engine) replayWAL(r *ring, start int64) {
+	var lw lineWriter
+	defer lw.close()
+	top := start
+	if last := int64(e.wal.LastSeq()); last > top {
+		top = last
+	}
+	var admitted int64
+	_, err := e.wal.Replay(func(seq uint64, payload []byte) error {
+		if int64(seq) <= start {
+			return nil // the checkpoint already covers it
+		}
+		data, src := lw.add(payload)
+		it := item{lineNo: int64(seq), data: data, src: src}
+		if !r.pushWait(it) {
+			it.release()
+			return errReplayStopped
+		}
+		admitted++
+		return nil
+	})
+	if err != nil {
+		if !errors.Is(err, errReplayStopped) {
+			// The WAL itself failed mid-replay: end the incarnation the
+			// same way a push-side WAL failure does.
+			e.mu.Lock()
+			if e.walErr == nil {
+				e.walErr = err
+			}
+			e.mu.Unlock()
+			e.tm.walFailures.Inc()
+			r.abort()
+		}
+		return
+	}
+	e.mu.Lock()
+	e.walReplayed += admitted
+	e.mu.Unlock()
+	e.pushMu.Lock()
+	if !r.stopped() {
+		e.pushRing = r
+		e.pushSeq = 0
+		// Everything the WAL has seen is known to this incarnation:
+		// processed (≤ start) or just re-admitted. Clients replaying
+		// their stream from the beginning have all of it skipped.
+		e.pushSkip = top
+	}
+	e.pushMu.Unlock()
 }
 
 // Serving reports whether a Serve loop is currently admitting pushes.
@@ -97,9 +203,20 @@ func (e *Engine) Serving() bool {
 // WaitServing blocks until the engine is admitting pushes or ctx ends —
 // the startup handshake between whoever launched Serve in a goroutine and
 // the first Push (which would otherwise race the loop's registration and
-// get a spurious ErrNotServing).
+// get a spurious ErrNotServing). With a WAL, admission opens only after
+// the recovery replay finishes. When the Serve call returns without ever
+// (or no longer) admitting — a WAL that fails during replay, a crash
+// before publication — WaitServing reports ErrNotServing instead of
+// waiting out ctx, so supervisors and tenant creation never hang on a
+// dead incarnation.
 func (e *Engine) WaitServing(ctx context.Context) error {
 	for !e.Serving() {
+		e.mu.Lock()
+		ended := e.serveEnded
+		e.mu.Unlock()
+		if ended {
+			return ErrNotServing
+		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
@@ -128,6 +245,7 @@ func (e *Engine) Push(lines []string) (PushResult, error) {
 	if r == nil {
 		return res, ErrNotServing
 	}
+	w := e.wal
 	for _, line := range lines {
 		if len(line) == 0 {
 			continue
@@ -145,6 +263,18 @@ func (e *Engine) Push(lines []string) (PushResult, error) {
 			e.tm.oversized.Inc()
 		}
 		data, src := e.pushLW.addString(line)
+		if w != nil {
+			if err := w.Append(uint64(e.pushSeq), data); err != nil {
+				src.release()
+				return res, e.walAbort(r, err)
+			}
+			if e.cfg.WALHook != nil {
+				if err := e.cfg.WALHook("push"); err != nil {
+					src.release()
+					return res, e.walAbort(r, err)
+				}
+			}
+		}
 		it := item{lineNo: e.pushSeq, data: data, src: src}
 		if e.cfg.Policy == LoadShed {
 			if r.pushTry(it) {
@@ -168,7 +298,35 @@ func (e *Engine) Push(lines []string) (PushResult, error) {
 			res.Accepted++
 		}
 	}
+	if w != nil {
+		// The acknowledgment barrier: one fsync covers the whole batch.
+		if err := w.Commit(); err != nil {
+			return res, e.walAbort(r, err)
+		}
+	}
 	return res, nil
+}
+
+// walAbort ends the serve incarnation after a write-ahead-log failure:
+// pending admission items are released, the failure is recorded, the ring
+// aborts (the Serve loop drains out and surfaces a *WALError for its
+// supervisor), and the pusher gets the typed error — its batch was NOT
+// acknowledged and must be replayed whole against the next incarnation.
+// Called with pushMu held.
+func (e *Engine) walAbort(r *ring, err error) error {
+	for i := range e.pushItems {
+		e.pushItems[i].release()
+		e.pushItems[i] = item{}
+	}
+	e.pushItems = e.pushItems[:0]
+	e.mu.Lock()
+	if e.walErr == nil {
+		e.walErr = err
+	}
+	e.mu.Unlock()
+	e.tm.walFailures.Inc()
+	r.abort()
+	return &WALError{Err: err}
 }
 
 // PushBatch submits a batch of raw line bytes to a serving engine — the
@@ -189,6 +347,12 @@ func (e *Engine) Push(lines []string) (PushResult, error) {
 // double-process the tail. ErrNotServing keeps Push's contract: retry the
 // whole batch against the next incarnation and the processed prefix is
 // skipped.
+//
+// With a WAL (Config.WALDir), a nil return additionally means the whole
+// batch is durable: every line was appended to the log before admission
+// and one group commit fsynced them all before returning. A *WALError
+// means the batch was NOT acknowledged and the incarnation is ending —
+// replay the batch whole against the next one.
 func (e *Engine) PushBatch(ctx context.Context, lines [][]byte) (PushResult, error) {
 	if err := ctx.Err(); err != nil {
 		return PushResult{}, err
@@ -200,15 +364,26 @@ func (e *Engine) PushBatch(ctx context.Context, lines [][]byte) (PushResult, err
 	if r == nil {
 		return res, ErrNotServing
 	}
+	w := e.wal
 	var oversizedN int64
+	var walFail error // set by flush when the "push" crash hook fires
 	if e.pushItems == nil {
 		e.pushItems = make([]item, 0, ingestBatch)
 	}
 
 	// flush mirrors the file producer's batched admission; it reports
 	// false when the ring stopped and the push must fail with
-	// ErrNotServing.
+	// ErrNotServing (or, when walFail is set, that typed failure).
 	flush := func() bool {
+		if w != nil && e.cfg.WALHook != nil && len(e.pushItems) > 0 {
+			// The enumerated crash point between WAL append and ring
+			// push: the batch's lines are in the WAL (possibly auto-
+			// flushed to disk) but not yet admitted.
+			if err := e.cfg.WALHook("push"); err != nil {
+				walFail = e.walAbort(r, err)
+				return false
+			}
+		}
 		if oversizedN > 0 {
 			e.mu.Lock()
 			e.ctrs.Oversized += oversizedN
@@ -267,13 +442,37 @@ func (e *Engine) PushBatch(ctx context.Context, lines [][]byte) (PushResult, err
 			oversizedN++
 		}
 		data, src := e.pushLW.add(line)
+		if w != nil {
+			// Append-before-admit: the line reaches the WAL buffer before
+			// it can reach the ring, so no admitted line is ever absent
+			// from the log. Durability waits for the Commit below.
+			if err := w.Append(uint64(e.pushSeq), data); err != nil {
+				src.release()
+				return res, e.walAbort(r, err)
+			}
+		}
 		e.pushItems = append(e.pushItems, item{lineNo: e.pushSeq, data: data, src: src})
 		if len(e.pushItems) == ingestBatch && !flush() {
+			if walFail != nil {
+				return res, walFail
+			}
 			return res, ErrNotServing
 		}
 	}
 	if !flush() {
+		if walFail != nil {
+			return res, walFail
+		}
 		return res, ErrNotServing
+	}
+	if w != nil {
+		// The acknowledgment barrier — group commit: one flush + fsync
+		// covers every line of this batch. Only a nil return here
+		// acknowledges the batch; on failure the incarnation ends and the
+		// client replays the batch whole.
+		if err := w.Commit(); err != nil {
+			return res, e.walAbort(r, err)
+		}
 	}
 	return res, nil
 }

@@ -42,11 +42,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"io"
+	"os"
 	"sort"
 	"strconv"
 	"time"
 
 	"logparse/internal/core"
+	"logparse/internal/stream/wal"
 	"logparse/internal/telemetry"
 )
 
@@ -76,6 +78,19 @@ func (p AdmissionPolicy) String() string {
 		return "unknown"
 	}
 }
+
+// WALSyncPolicy aliases wal.SyncPolicy so push-mode callers configure WAL
+// durability without importing the wal package directly.
+type WALSyncPolicy = wal.SyncPolicy
+
+const (
+	// WALSyncBatch fsyncs once per acknowledged batch (group commit); the
+	// only policy under which an acknowledgment survives power loss.
+	WALSyncBatch = wal.SyncBatch
+	// WALSyncNone flushes to the OS on commit but never fsyncs: records
+	// survive a process kill, not a kernel crash or power cut.
+	WALSyncNone = wal.SyncNone
+)
 
 // Config configures an Engine. Open and CheckpointDir are required; zero
 // values elsewhere mean the documented defaults.
@@ -137,6 +152,35 @@ type Config struct {
 	// for the catalogue). Instrumentation is behavior-neutral and, when nil,
 	// free.
 	Telemetry *telemetry.Handle
+	// WALDir, when non-empty, enables the push-mode write-ahead log:
+	// every line Push/PushBatch admits is appended to the WAL before the
+	// batch is acknowledged (one fsync per batch — group commit), Serve
+	// replays the WAL tail beyond the checkpoint before admitting new
+	// pushes, and each successful checkpoint truncates the segments it
+	// covers. With it, an acknowledged line survives kill -9; without it,
+	// recovery is checkpoint + client replay only. Run (file mode)
+	// ignores the WAL: the re-openable source is its own durability.
+	// See DESIGN.md §12 "Durability & WAL semantics".
+	WALDir string
+	// WALSync is the WAL commit durability policy (default wal.SyncBatch:
+	// one fsync per acknowledged batch).
+	WALSync wal.SyncPolicy
+	// WALSegmentBytes is the WAL segment rotation threshold (default 4 MiB).
+	WALSegmentBytes int64
+	// WALBufferBytes sizes the WAL append buffer (default 64 KiB); tests
+	// shrink it to force auto-flushes between appends and commits.
+	WALBufferBytes int
+	// WALSegment, when non-nil, wraps each WAL segment file handle — the
+	// fault-injection seam for torn-write and failed-fsync crash tests
+	// (faultinject.WALCrashFile).
+	WALSegment func(*os.File) wal.SegmentFile
+	// WALHook, when non-nil, fires at WAL crash points: "push" between a
+	// batch's WAL appends and its ring admission, "rotate" mid segment
+	// rotation, "truncate" mid checkpoint truncation. A non-nil return
+	// freezes the operation at exactly that point and ends the serve
+	// incarnation — how the recovery tests pin each enumerated crash
+	// point. The hook runs under engine locks and must not call back in.
+	WALHook func(point string) error
 }
 
 // Stats is a point-in-time health snapshot of an Engine. All counters are
@@ -192,6 +236,23 @@ type Stats struct {
 	// RecoveryError is the rendered *AllCorruptError of a corrupt-reset
 	// start, empty after a healthy one.
 	RecoveryError string
+	// WALEnabled reports whether the push-mode write-ahead log is on.
+	WALEnabled bool
+	// WALLastSeq is the newest sequence number the WAL holds; WALSegments
+	// is its current segment-file count.
+	WALLastSeq  int64
+	WALSegments int
+	// WALReplayed counts records the engine re-admitted from the WAL tail
+	// at Serve start (this process's lifetime).
+	WALReplayed int64
+	// WALTornTails and WALCorruptDropped report the crash damage repaired
+	// when the WAL was opened: partially-written final records truncated
+	// away, and files discarded for body corruption.
+	WALTornTails      int
+	WALCorruptDropped int
+	// WALError is the rendered write-ahead-log failure that ended the
+	// current serve incarnation, empty while healthy.
+	WALError string
 }
 
 // Digest is the canonical digest of an engine's observable outcome: the

@@ -29,7 +29,10 @@ type engineTelemetry struct {
 	ckptErrors       *telemetry.Counter
 	ckptBytes        *telemetry.Counter
 	corruptResets    *telemetry.Counter
+	dirsyncErrors    *telemetry.Counter
 	transitions      *telemetry.Counter
+	walFailures      *telemetry.Counter
+	walTruncErrors   *telemetry.Counter
 
 	ringDepth         *telemetry.Gauge
 	unmatchedBuffered *telemetry.Gauge
@@ -57,7 +60,10 @@ func newEngineTelemetry(h *telemetry.Handle) engineTelemetry {
 		ckptErrors:       h.Counter("stream.checkpoint.errors"),
 		ckptBytes:        h.Counter("stream.checkpoint.bytes"),
 		corruptResets:    h.Counter("stream.checkpoint.corrupt_resets"),
+		dirsyncErrors:    h.Counter("stream.checkpoint.dirsync_errors"),
 		transitions:      h.Counter("stream.breaker.transitions"),
+		walFailures:      h.Counter("stream.wal.failures"),
+		walTruncErrors:   h.Counter("stream.wal.truncate.errors"),
 
 		ringDepth:         h.Gauge("stream.ring.depth"),
 		unmatchedBuffered: h.Gauge("stream.unmatched.buffered"),

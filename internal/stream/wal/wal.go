@@ -1,0 +1,596 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"logparse/internal/telemetry"
+)
+
+// SyncPolicy selects what a Commit makes durable.
+type SyncPolicy int
+
+const (
+	// SyncBatch fsyncs the active segment once per Commit — the group
+	// commit: one fsync covers every record appended since the previous
+	// Commit, so per-line cost amortizes over the admission batch. This is
+	// the only policy under which an acknowledgment survives power loss.
+	SyncBatch SyncPolicy = iota
+	// SyncNone flushes to the OS on Commit but never fsyncs: records
+	// survive a process kill (the page cache persists) but not a kernel
+	// crash or power cut. The bench-twin policy for measuring fsync cost.
+	SyncNone
+)
+
+// SegmentFile is the writable handle a segment runs on — *os.File in
+// production, a fault-injection wrapper in crash tests.
+type SegmentFile interface {
+	io.Writer
+	Sync() error
+}
+
+// Options configures a WAL. Dir is required; zero values elsewhere mean
+// the documented defaults.
+type Options struct {
+	// Dir is the directory holding the segment files.
+	Dir string
+	// SegmentBytes is the rotation threshold (default 4 MiB): after a
+	// Commit leaves the active segment at or beyond it, the segment is
+	// sealed and the next append starts a fresh one. Rotation only happens
+	// at commit boundaries, so records never span segments.
+	SegmentBytes int64
+	// BufferBytes sizes the append buffer (default 64 KiB). Appends
+	// between Commits accumulate here; a filled buffer auto-flushes to the
+	// OS, which is why a crash can leave records on disk that were never
+	// acknowledged — recovery replays a superset, never a subset, of what
+	// was acknowledged.
+	BufferBytes int
+	// Sync is the Commit durability policy.
+	Sync SyncPolicy
+	// WrapSegment, when non-nil, wraps each segment's file handle — the
+	// fault-injection seam for torn-write and failed-fsync testing.
+	WrapSegment func(*os.File) SegmentFile
+	// Hook, when non-nil, is called at crash points ("rotate" between
+	// sealing a full segment and starting the next, "truncate" before each
+	// segment deletion). A non-nil return aborts the operation at exactly
+	// that point, leaving on-disk state mid-operation — how the recovery
+	// tests freeze a WAL in the states a kill -9 can produce. The hook
+	// runs under the WAL lock and must not call back into it.
+	Hook func(point string) error
+	// Telemetry, when non-nil, publishes stream.wal.* metrics.
+	Telemetry *telemetry.Handle
+	// Now is the clock for the fsync-latency histogram (default time.Now).
+	Now func() time.Time
+}
+
+// OpenInfo reports what Open found and repaired.
+type OpenInfo struct {
+	// Segments and Records count the surviving segment files and records.
+	Segments int
+	Records  int64
+	// LastSeq is the newest surviving record's sequence number (0 when
+	// the log is empty).
+	LastSeq uint64
+	// TornTails counts files whose partially-written final record was
+	// truncated away — the expected signature of a crash mid-append.
+	TornTails int
+	// TornBytes is the total byte count those truncations removed.
+	TornBytes int64
+	// CorruptDropped counts files that were truncated or deleted because
+	// of body corruption (bad CRC, broken header) rather than a torn tail.
+	CorruptDropped int
+}
+
+// ErrClosed is returned by operations on a closed WAL.
+var ErrClosed = errors.New("wal: closed")
+
+// segMeta describes one segment file.
+type segMeta struct {
+	path     string
+	firstSeq uint64
+	lastSeq  uint64
+	records  int
+	size     int64
+}
+
+// activeSeg is the segment currently open for append.
+type activeSeg struct {
+	f    *os.File
+	sf   SegmentFile
+	bw   *bufio.Writer
+	meta segMeta
+}
+
+type walTelemetry struct {
+	appends     *telemetry.Counter
+	bytes       *telemetry.Counter
+	commits     *telemetry.Counter
+	commitErrs  *telemetry.Counter
+	created     *telemetry.Counter
+	deleted     *telemetry.Counter
+	tornTails   *telemetry.Counter
+	corrupt     *telemetry.Counter
+	replayed    *telemetry.Counter
+	segments    *telemetry.Gauge
+	fsyncSec    *telemetry.Histogram
+}
+
+func newWALTelemetry(h *telemetry.Handle) walTelemetry {
+	return walTelemetry{
+		appends:    h.Counter("stream.wal.appends"),
+		bytes:      h.Counter("stream.wal.bytes"),
+		commits:    h.Counter("stream.wal.commits"),
+		commitErrs: h.Counter("stream.wal.commit.errors"),
+		created:    h.Counter("stream.wal.segments.created"),
+		deleted:    h.Counter("stream.wal.segments.deleted"),
+		tornTails:  h.Counter("stream.wal.torn_tails"),
+		corrupt:    h.Counter("stream.wal.replay.corrupt"),
+		replayed:   h.Counter("stream.wal.replayed"),
+		segments:   h.Gauge("stream.wal.segments"),
+		fsyncSec:   h.Histogram("stream.wal.fsync.seconds", telemetry.DurationBuckets),
+	}
+}
+
+// WAL is one tenant's write-ahead log. Append buffers a record, Commit
+// makes the batch durable (the acknowledgment barrier), Replay feeds the
+// surviving records back after a restart, and TruncateThrough garbage-
+// collects segments a checkpoint has covered. Safe for concurrent use;
+// the engine serializes appends behind its push lock, but truncation
+// (driven by the checkpointer) and stats run concurrently.
+type WAL struct {
+	opts Options
+	now  func() time.Time
+	tm   walTelemetry
+
+	mu      sync.Mutex
+	sealed  []segMeta
+	active  *activeSeg
+	lastSeq uint64
+	pending int   // records appended since the last Commit
+	err     error // latched first failure: the file position is unknowable after it
+	closed  bool
+	// hdrBuf is Append's reusable record-header scratch (guarded by mu);
+	// a per-call array would escape to the heap and cost one allocation
+	// per appended line.
+	hdrBuf [recHeaderSize]byte
+}
+
+// Open scans dir, repairs crash damage (truncating a torn tail, discarding
+// corrupt bytes and everything after them), and returns a WAL positioned
+// to append after the newest surviving record.
+func Open(opts Options) (*WAL, OpenInfo, error) {
+	if opts.Dir == "" {
+		return nil, OpenInfo{}, errors.New("wal: Options.Dir is required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 4 << 20
+	}
+	if opts.BufferBytes <= 0 {
+		opts.BufferBytes = 64 * 1024
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, OpenInfo{}, fmt.Errorf("wal: dir: %w", err)
+	}
+	w := &WAL{opts: opts, now: opts.Now, tm: newWALTelemetry(opts.Telemetry)}
+	info, err := w.recover()
+	if err != nil {
+		return nil, info, err
+	}
+	w.tm.segments.Set(int64(len(w.sealed)))
+	return w, info, nil
+}
+
+// recover scans the segment files in seq order, truncates crash damage,
+// and rebuilds the in-memory segment index.
+func (w *WAL) recover() (OpenInfo, error) {
+	var info OpenInfo
+	names, err := filepath.Glob(filepath.Join(w.opts.Dir, "wal-*.seg"))
+	if err != nil {
+		return info, fmt.Errorf("wal: scan dir: %w", err)
+	}
+	sort.Strings(names) // zero-padded firstSeq names sort numerically
+
+	// dropFrom deletes every file from index i on — the bytes beyond a
+	// corruption point cannot be trusted to be ordered or complete.
+	dropFrom := func(i int) error {
+		for _, path := range names[i:] {
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("wal: drop untrusted segment: %w", err)
+			}
+			info.CorruptDropped++
+			w.tm.corrupt.Inc()
+		}
+		return nil
+	}
+
+	prevLast := uint64(0)
+	for i, path := range names {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return info, fmt.Errorf("wal: read segment: %w", err)
+		}
+		meta, derr := DecodeSegment(data, nil)
+		sm := segMeta{path: path, firstSeq: meta.FirstSeq, lastSeq: meta.LastSeq, records: meta.Records, size: meta.Good}
+		corrupt := false
+		switch e := derr.(type) {
+		case nil:
+		case *TornTailError:
+			// Expected after a crash mid-append: cut the partial record,
+			// keep the verified prefix.
+			if err := os.Truncate(path, meta.Good); err != nil {
+				return info, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+			info.TornTails++
+			info.TornBytes += int64(len(data)) - meta.Good
+			w.tm.tornTails.Inc()
+			if i != len(names)-1 {
+				// A torn tail anywhere but the final segment means writes
+				// continued into later files past damage — those files are
+				// untrusted.
+				corrupt = true
+			}
+		case *CorruptError:
+			e.Path = path
+			if err := os.Truncate(path, meta.Good); err != nil {
+				return info, fmt.Errorf("wal: truncate corrupt segment: %w", err)
+			}
+			info.CorruptDropped++
+			w.tm.corrupt.Inc()
+			corrupt = true
+		default:
+			return info, derr
+		}
+		if !corrupt && meta.Records > 0 && meta.FirstSeq <= prevLast {
+			// Overlapping seq ranges across files: ordering is untrusted
+			// from here on.
+			corrupt = true
+			info.CorruptDropped++
+			w.tm.corrupt.Inc()
+			if err := os.Remove(path); err != nil {
+				return info, fmt.Errorf("wal: drop untrusted segment: %w", err)
+			}
+			sm.records = 0
+		}
+		if corrupt {
+			if sm.records == 0 && sm.path != "" {
+				// Nothing verified in this file either: remove it (already
+				// removed in the overlap case; tolerate a second remove).
+				_ = os.Remove(path)
+			}
+			if sm.records > 0 {
+				w.sealed = append(w.sealed, sm)
+				info.Records += int64(sm.records)
+				prevLast = sm.lastSeq
+			}
+			if err := dropFrom(i + 1); err != nil {
+				return info, err
+			}
+			break
+		}
+		if sm.records == 0 {
+			// Header-only file (crash between creating a segment and the
+			// first commit): recreate lazily on the next append.
+			if err := os.Remove(path); err != nil {
+				return info, fmt.Errorf("wal: drop empty segment: %w", err)
+			}
+			continue
+		}
+		w.sealed = append(w.sealed, sm)
+		info.Records += int64(sm.records)
+		prevLast = sm.lastSeq
+	}
+	if n := len(w.sealed); n > 0 {
+		w.lastSeq = w.sealed[n-1].lastSeq
+		info.LastSeq = w.lastSeq
+		// Reopen the newest segment for append when it still has room, so
+		// restarts do not proliferate tiny segments.
+		last := w.sealed[n-1]
+		if last.size < w.opts.SegmentBytes {
+			f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return info, fmt.Errorf("wal: reopen segment: %w", err)
+			}
+			w.sealed = w.sealed[:n-1]
+			w.installActive(f, last)
+		}
+	}
+	info.Segments = len(w.sealed)
+	if w.active != nil {
+		info.Segments++
+	}
+	return info, nil
+}
+
+// installActive wires a file handle (through the fault seam) as the active
+// segment.
+func (w *WAL) installActive(f *os.File, meta segMeta) {
+	var sf SegmentFile = f
+	if w.opts.WrapSegment != nil {
+		sf = w.opts.WrapSegment(f)
+	}
+	w.active = &activeSeg{f: f, sf: sf, bw: bufio.NewWriterSize(sf, w.opts.BufferBytes), meta: meta}
+}
+
+// fail latches the first error: after a failed write or sync the file
+// position is unknowable, so every later operation refuses until the WAL
+// is reopened (which re-verifies the on-disk state).
+func (w *WAL) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return err
+}
+
+// Append buffers one record. seq must exceed every previously appended
+// seq. The payload is copied into the buffer before return, so the caller
+// may reuse it. Durability comes only from the next Commit.
+func (w *WAL) Append(seq uint64, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if seq == 0 || seq <= w.lastSeq {
+		return w.fail(fmt.Errorf("wal: append seq %d not above %d", seq, w.lastSeq))
+	}
+	if len(payload) > MaxRecordBytes {
+		return w.fail(fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", len(payload)))
+	}
+	if w.active == nil {
+		if err := w.startSegmentLocked(seq); err != nil {
+			return w.fail(err)
+		}
+	}
+	encodeRecordHeader(&w.hdrBuf, seq, payload)
+	if _, err := w.active.bw.Write(w.hdrBuf[:]); err != nil {
+		return w.fail(fmt.Errorf("wal: append: %w", err))
+	}
+	if _, err := w.active.bw.Write(payload); err != nil {
+		return w.fail(fmt.Errorf("wal: append: %w", err))
+	}
+	n := int64(recHeaderSize + len(payload))
+	w.active.meta.size += n
+	w.active.meta.lastSeq = seq
+	w.active.meta.records++
+	w.lastSeq = seq
+	w.pending++
+	w.tm.appends.Inc()
+	w.tm.bytes.Add(uint64(n))
+	return nil
+}
+
+// startSegmentLocked creates a fresh segment whose first record will be
+// seq.
+func (w *WAL) startSegmentLocked(seq uint64) error {
+	path := filepath.Join(w.opts.Dir, fmt.Sprintf("wal-%020d.seg", seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	meta := segMeta{path: path, firstSeq: seq, size: int64(segHeaderSize)}
+	w.installActive(f, meta)
+	if _, err := w.active.bw.Write(SegmentHeader(seq)); err != nil {
+		return fmt.Errorf("wal: segment header: %w", err)
+	}
+	w.tm.created.Inc()
+	w.tm.segments.Set(int64(len(w.sealed)) + 1)
+	return nil
+}
+
+// Commit makes every record appended since the previous Commit durable:
+// flush the buffer, fsync once (under SyncBatch), and — when the active
+// segment has reached SegmentBytes — seal it and let the next append
+// start a fresh one. This is the acknowledgment barrier: only after
+// Commit returns nil may the admission batch be acknowledged.
+func (w *WAL) Commit() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if w.active == nil {
+		return nil
+	}
+	if err := w.syncActiveLocked(); err != nil {
+		w.tm.commitErrs.Inc()
+		return w.fail(err)
+	}
+	w.pending = 0
+	w.tm.commits.Inc()
+	if w.active.meta.size >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			w.tm.commitErrs.Inc()
+			return w.fail(err)
+		}
+	}
+	return nil
+}
+
+// syncActiveLocked flushes the buffer and applies the sync policy.
+func (w *WAL) syncActiveLocked() error {
+	if err := w.active.bw.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if w.opts.Sync == SyncNone {
+		return nil
+	}
+	start := w.now()
+	err := w.active.sf.Sync()
+	w.tm.fsyncSec.Observe(w.now().Sub(start).Seconds())
+	if err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// rotateLocked seals the (already flushed and synced) active segment. The
+// next append starts the successor, so its header carries the exact first
+// seq. The "rotate" hook fires between seal and successor — the
+// mid-rotation crash point.
+func (w *WAL) rotateLocked() error {
+	if err := w.active.f.Close(); err != nil {
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	w.sealed = append(w.sealed, w.active.meta)
+	w.active = nil
+	w.tm.segments.Set(int64(len(w.sealed)))
+	if w.opts.Hook != nil {
+		if err := w.opts.Hook("rotate"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replay feeds every record on disk, in seq order, to fn. The engine
+// calls it once at Serve start, before any Append of the new incarnation;
+// pending unflushed appends are not visible to it. fn's error stops the
+// walk and is returned.
+func (w *WAL) Replay(fn func(seq uint64, payload []byte) error) (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	var n int64
+	wrapped := func(seq uint64, payload []byte) error {
+		if err := fn(seq, payload); err != nil {
+			return err
+		}
+		n++
+		w.tm.replayed.Inc()
+		return nil
+	}
+	metas := w.sealed
+	if w.active != nil {
+		if err := w.active.bw.Flush(); err != nil {
+			return n, w.fail(fmt.Errorf("wal: flush before replay: %w", err))
+		}
+		metas = append(append([]segMeta(nil), w.sealed...), w.active.meta)
+	}
+	for _, m := range metas {
+		data, err := os.ReadFile(m.path)
+		if err != nil {
+			return n, fmt.Errorf("wal: replay read: %w", err)
+		}
+		if _, err := DecodeSegment(data, wrapped); err != nil {
+			switch e := err.(type) {
+			case *TornTailError:
+				e.Path = m.path
+			case *CorruptError:
+				e.Path = m.path
+			}
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// TruncateThrough deletes sealed segments entirely covered by seq — the
+// checkpoint-coordination point: after a checkpoint at offset N is
+// durable, records with seq ≤ N are redundant and their segments are
+// garbage. The active segment is never deleted (it may hold committed
+// records above seq). The "truncate" hook fires before each deletion —
+// the mid-truncation crash point.
+func (w *WAL) TruncateThrough(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	for len(w.sealed) > 0 && w.sealed[0].lastSeq <= seq {
+		if w.opts.Hook != nil {
+			if err := w.opts.Hook("truncate"); err != nil {
+				return err
+			}
+		}
+		if err := os.Remove(w.sealed[0].path); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+		w.sealed = w.sealed[1:]
+		w.tm.deleted.Inc()
+	}
+	n := int64(len(w.sealed))
+	if w.active != nil {
+		n++
+	}
+	w.tm.segments.Set(n)
+	return nil
+}
+
+// LastSeq returns the newest appended (not necessarily committed)
+// sequence number; 0 when the log is empty.
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastSeq
+}
+
+// Segments returns the current segment-file count.
+func (w *WAL) Segments() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.sealed)
+	if w.active != nil {
+		n++
+	}
+	return n
+}
+
+// Err returns the latched failure, nil while healthy.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close flushes and syncs the active segment and releases the file
+// handle. Further operations return ErrClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.active == nil {
+		return nil
+	}
+	err := w.err
+	if err == nil {
+		err = w.syncActiveLocked()
+	}
+	if cerr := w.active.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	w.active = nil
+	return err
+}
+
+// encodeRecordHeader fills hdr for one record (AppendRecord's layout,
+// allocation-free for the hot path).
+func encodeRecordHeader(hdr *[recHeaderSize]byte, seq uint64, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	crc := crc32.Update(0, castagnoli, hdr[4:])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[0:4], crc)
+}

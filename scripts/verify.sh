@@ -41,6 +41,8 @@ if [ "$short" = 1 ]; then
 	sh scripts/crash_smoke.sh Zookeeper 3000 2345
 	echo "==> multi-tenant server smoke (reduced)"
 	sh scripts/server_smoke.sh 800 600
+	echo "==> WAL crash smoke (reduced)"
+	sh scripts/wal_crash_smoke.sh 3 1500
 	echo "verify: OK (short)"
 	exit 0
 fi
@@ -60,6 +62,9 @@ sh scripts/crash_smoke.sh
 echo "==> multi-tenant server smoke (scripts/server_smoke.sh)"
 sh scripts/server_smoke.sh
 
+echo "==> WAL crash smoke (scripts/wal_crash_smoke.sh)"
+sh scripts/wal_crash_smoke.sh
+
 echo "==> golden-digest check (cmd/conformgen -check)"
 go run ./cmd/conformgen -check >/dev/null
 
@@ -71,5 +76,7 @@ for target in FuzzTokenize FuzzTokenizeBytesEquivalence FuzzReadMessages FuzzHea
 	echo "==> go test -fuzz=$target -fuzztime=5s ./internal/conform"
 	go test ./internal/conform -run '^$' -fuzz "^${target}\$" -fuzztime=5s >/dev/null
 done
+echo "==> go test -fuzz=FuzzWALDecode -fuzztime=5s ./internal/stream/wal"
+go test ./internal/stream/wal -run '^$' -fuzz '^FuzzWALDecode$' -fuzztime=5s >/dev/null
 
 echo "verify: OK"
