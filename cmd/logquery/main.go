@@ -1,0 +1,295 @@
+// Command logquery answers questions about a parsed-event store without
+// touching the engine that wrote it: which templates fired, how often,
+// and when. It reads the block footers' time ranges, bloom filters and
+// per-template indexes to skip — or answer entirely without decompressing
+// — every block the query cannot select from, so a narrow query over a
+// large store reads almost none of it.
+//
+// Count one template's events inside a time window:
+//
+//	logquery -dir events -template 7 -from 2026-08-08T00:00:00Z -to 2026-08-08T01:00:00Z
+//
+// The most frequent templates, with names resolved from the engine's
+// checkpoint:
+//
+//	logquery -dir events -mode top -n 10 -checkpoint-dir ck
+//
+// List matching events (store order, seq = source line number):
+//
+//	logquery -dir events -mode list -template 3,9 -limit 50
+//
+// Query one tenant of a -listen server started with -events ROOT:
+//
+//	logquery -root ROOT -tenant web -mode top
+//
+// The store is read-only here: crash damage (a torn tail under a live
+// writer, a corrupt block) is tolerated and reported, never repaired —
+// the verified prefix is served. Exit status: 0 on success, 1 on error,
+// 2 on usage.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"logparse/internal/eventstore"
+	"logparse/internal/stream"
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "logquery:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// result is the -json output document; exactly one of Count, Events,
+// Templates is set, per mode.
+type result struct {
+	Dir       string                `json:"dir"`
+	Mode      string                `json:"mode"`
+	Count     *int64                `json:"count,omitempty"`
+	Events    []eventRow            `json:"events,omitempty"`
+	Templates []templateRow         `json:"templates,omitempty"`
+	Stats     eventstore.QueryStats `json:"stats"`
+	Store     storeInfo             `json:"store"`
+}
+
+type eventRow struct {
+	Seq      int64  `json:"seq"`
+	Time     string `json:"time"`
+	Template int32  `json:"template"`
+	Name     string `json:"name,omitempty"`
+	Kind     string `json:"kind"`
+	RawOff   int64  `json:"raw_off,omitempty"`
+}
+
+type templateRow struct {
+	Template int32  `json:"template"`
+	Count    int64  `json:"count"`
+	Name     string `json:"name,omitempty"`
+}
+
+type storeInfo struct {
+	Segments int    `json:"segments"`
+	Blocks   int    `json:"blocks"`
+	Events   int64  `json:"events"`
+	LastSeq  int64  `json:"last_seq"`
+	TornTail bool   `json:"torn_tail,omitempty"`
+	Damaged  string `json:"damaged,omitempty"`
+}
+
+func run() (int, error) {
+	var (
+		dir    = flag.String("dir", "", "event store directory (exclusive with -root/-tenant)")
+		root   = flag.String("root", "", "server events root; use with -tenant")
+		tenant = flag.String("tenant", "", "tenant id under -root")
+
+		mode      = flag.String("mode", "count", "count, top (most frequent templates) or list (the events themselves)")
+		templates = flag.String("template", "", "comma-separated template ids to select (empty = all matched)")
+		unmatched = flag.Bool("unmatched", false, "include unmatched lines (template -1)")
+		from      = flag.String("from", "", "lower time bound, RFC3339 (inclusive)")
+		to        = flag.String("to", "", "upper time bound, RFC3339 (exclusive)")
+		limit     = flag.Int("limit", 100, "list mode: maximum events returned")
+		topN      = flag.Int("n", 10, "top mode: number of templates")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "engine checkpoint directory; resolves template ids to names")
+		jsonOut   = flag.Bool("json", false, "emit the result as one JSON document")
+		showStats = flag.Bool("stats", true, "print skip-scan effectiveness to stderr (text mode)")
+	)
+	flag.Parse()
+
+	switch {
+	case *dir != "" && (*root != "" || *tenant != ""):
+		return 2, errors.New("-dir is exclusive with -root/-tenant")
+	case *dir == "" && (*root == "") != (*tenant == ""):
+		return 2, errors.New("-root and -tenant go together")
+	case *dir == "" && *root == "":
+		return 2, errors.New("a store is required: -dir DIR, or -root ROOT -tenant ID")
+	}
+	storeDir := *dir
+	if storeDir == "" {
+		storeDir = filepath.Join(*root, "tenants", *tenant)
+	}
+	if _, err := os.Stat(storeDir); err != nil {
+		return 1, fmt.Errorf("event store %s: %w", storeDir, err)
+	}
+
+	q := eventstore.Query{IncludeUnmatched: *unmatched}
+	if *templates != "" {
+		for _, part := range strings.Split(*templates, ",") {
+			id, err := strconv.ParseInt(strings.TrimSpace(part), 10, 32)
+			if err != nil {
+				return 2, fmt.Errorf("bad -template entry %q", part)
+			}
+			q.TemplateIDs = append(q.TemplateIDs, int32(id))
+		}
+	}
+	for _, bound := range []struct {
+		flag, name string
+		dst        *time.Time
+	}{{*from, "-from", &q.From}, {*to, "-to", &q.To}} {
+		if bound.flag == "" {
+			continue
+		}
+		ts, err := time.Parse(time.RFC3339Nano, bound.flag)
+		if err != nil {
+			return 2, fmt.Errorf("%s: want RFC3339: %w", bound.name, err)
+		}
+		*bound.dst = ts
+	}
+
+	names, err := loadTemplateNames(*ckptDir)
+	if err != nil {
+		return 1, err
+	}
+
+	rd, info, err := eventstore.OpenReader(storeDir, eventstore.ReaderOptions{})
+	if err != nil {
+		return 1, err
+	}
+	res := result{
+		Dir:  storeDir,
+		Mode: *mode,
+		Store: storeInfo{
+			Segments: info.Segments, Blocks: info.Blocks, Events: info.Events,
+			LastSeq: info.LastSeq, TornTail: info.TornTail, Damaged: info.Damaged,
+		},
+	}
+
+	switch *mode {
+	case "count":
+		n, st, err := rd.Count(q)
+		if err != nil {
+			return 1, err
+		}
+		res.Count, res.Stats = &n, st
+	case "top":
+		if *topN <= 0 {
+			return 2, errors.New("-n must be positive")
+		}
+		counts, st, err := rd.TemplateCounts(q)
+		if err != nil {
+			return 1, err
+		}
+		res.Stats = st
+		for id, c := range counts {
+			res.Templates = append(res.Templates, templateRow{Template: id, Count: c, Name: names[id]})
+		}
+		sort.Slice(res.Templates, func(i, j int) bool {
+			if res.Templates[i].Count != res.Templates[j].Count {
+				return res.Templates[i].Count > res.Templates[j].Count
+			}
+			return res.Templates[i].Template < res.Templates[j].Template
+		})
+		if len(res.Templates) > *topN {
+			res.Templates = res.Templates[:*topN]
+		}
+	case "list":
+		if *limit <= 0 {
+			return 2, errors.New("-limit must be positive")
+		}
+		q.Limit = *limit
+		st, err := rd.Scan(q, func(ev eventstore.Event) error {
+			res.Events = append(res.Events, eventRow{
+				Seq:      ev.Seq,
+				Time:     time.Unix(0, ev.Time).UTC().Format(time.RFC3339Nano),
+				Template: ev.Template,
+				Name:     names[ev.Template],
+				Kind:     ev.Kind.String(),
+				RawOff:   ev.RawOff,
+			})
+			return nil
+		})
+		if err != nil {
+			return 1, err
+		}
+		res.Stats = st
+	default:
+		return 2, fmt.Errorf("unknown -mode %q (want count, top or list)", *mode)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return 0, enc.Encode(res)
+	}
+	printText(res, *showStats)
+	return 0, nil
+}
+
+// loadTemplateNames maps template ids to rendered templates from the
+// engine's checkpoint. The event store records the matcher's template
+// index, which is the checkpoint's template order — the same engine wrote
+// both, under the same checkpoint barrier.
+func loadTemplateNames(ckptDir string) (map[int32]string, error) {
+	if ckptDir == "" {
+		return nil, nil
+	}
+	store, err := stream.NewStore(ckptDir)
+	if err != nil {
+		return nil, err
+	}
+	st, _, err := store.Load()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", ckptDir, err)
+	}
+	names := make(map[int32]string, len(st.Templates))
+	for i, t := range st.Templates {
+		names[int32(i)] = strings.Join(t.Tokens, " ")
+	}
+	return names, nil
+}
+
+func printText(res result, showStats bool) {
+	if res.Store.TornTail {
+		fmt.Fprintln(os.Stderr, "logquery: note: newest segment ends mid-block (live writer or crash); serving the finalized prefix")
+	}
+	if res.Store.Damaged != "" {
+		fmt.Fprintf(os.Stderr, "logquery: note: damage past the verified prefix: %s\n", res.Store.Damaged)
+	}
+	switch res.Mode {
+	case "count":
+		fmt.Println(*res.Count)
+	case "top":
+		for _, row := range res.Templates {
+			label := row.Name
+			if label == "" {
+				if row.Template == -1 {
+					label = "(unmatched)"
+				} else {
+					label = "template " + strconv.Itoa(int(row.Template))
+				}
+			}
+			fmt.Printf("%10d  %4d  %s\n", row.Count, row.Template, label)
+		}
+	case "list":
+		for _, ev := range res.Events {
+			label := ev.Name
+			if label == "" {
+				label = ev.Kind
+			} else {
+				label += "  [" + ev.Kind + "]"
+			}
+			fmt.Printf("%10d  %s  %4d  %s\n", ev.Seq, ev.Time, ev.Template, label)
+		}
+	}
+	if showStats {
+		st := res.Stats
+		fmt.Fprintf(os.Stderr,
+			"logquery: %d events selected; %d/%d blocks skipped, %d answered from the index, %d decompressed (%d bytes)\n",
+			st.Selected, st.Skipped, st.Blocks, st.IndexOnly, st.Decompressed, st.BytesDecompressed)
+	}
+}

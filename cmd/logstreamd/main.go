@@ -95,6 +95,9 @@ func run() (int, error) {
 		primary      = flag.String("retrainer", "", "primary retrain algorithm ahead of the SLCT-stream tier (SLCT, IPLoM, LKE, LogSig; empty = SLCT-stream only)")
 		support      = flag.Int("support", 0, "SLCT support threshold for retraining (0 = fractional default)")
 
+		eventsDir   = flag.String("events", "", "record per-line parse decisions into this event-store directory (file mode) or root (-listen mode: tenant T under <root>/tenants/T); query with logquery or GET /v1/query")
+		eventsBlock = flag.Int("events-block-bytes", 0, "event-store target block size in bytes (0 = default 256 KiB); smaller blocks skip more precisely, larger compress better")
+
 		killAfter = flag.Int64("kill-after-lines", 0, "simulate a crash (exit 3, no checkpoint) after processing this source line")
 		eofAfter  = flag.Int("eof-after-lines", 0, "inject a premature clean EOF after this many source lines")
 		tornAt    = flag.Int("torn-checkpoint-at", 0, "tear the Nth checkpoint save (fault injection; 0 = never)")
@@ -136,6 +139,7 @@ func run() (int, error) {
 			maxUnmatched: *maxUnmatched, policy: *policy,
 			primary: *primary, support: *support, seed: *seed,
 			wal: *walOn, walSync: *walSync, walSegBytes: *walSegBytes,
+			eventsRoot: *eventsDir, eventsBlock: *eventsBlock,
 			debugAddr: *debugAddr, debugAddrFile: *debugAddrFile,
 		})
 	}
@@ -183,6 +187,9 @@ func run() (int, error) {
 		MaxUnmatched:    *maxUnmatched,
 		Retrainer:       retrainer,
 		Telemetry:       tel,
+
+		EventStoreDir:        *eventsDir,
+		EventStoreBlockBytes: *eventsBlock,
 	}
 	if *tornAt > 0 {
 		saves := 0
@@ -292,6 +299,9 @@ type serverOpts struct {
 	walSync     string
 	walSegBytes int64
 
+	eventsRoot  string
+	eventsBlock int
+
 	debugAddr, debugAddrFile string
 }
 
@@ -328,9 +338,11 @@ func runServer(o serverOpts) (int, error) {
 	}
 
 	srv, err := server.New(server.Config{
-		CheckpointRoot: o.ckptRoot,
-		Shards:         o.shards,
-		WAL:            o.wal,
+		CheckpointRoot:  o.ckptRoot,
+		Shards:          o.shards,
+		WAL:             o.wal,
+		EventsRoot:      o.eventsRoot,
+		EventBlockBytes: o.eventsBlock,
 		Stream: stream.Config{
 			RingCapacity:    o.ring,
 			Policy:          pol,
@@ -466,4 +478,8 @@ func printStats(w io.Writer, s stream.Stats) {
 		s.Templates, s.Retrains, s.RetrainFailures, s.Breaker, s.UnmatchedBuffered, s.UnmatchedDropped)
 	fmt.Fprintf(w, "offset=%d checkpoints=%d checkpoint-errors=%d ring-high-water=%d recovered-from=%q\n",
 		s.Offset, s.Checkpoints, s.CheckpointErrors, s.RingHighWater, s.RecoveredFrom)
+	if s.EventStoreEnabled {
+		fmt.Fprintf(w, "events=%d event-segments=%d event-blocks=%d event-torn-tails=%d event-error=%q\n",
+			s.EventsAppended, s.EventStoreSegments, s.EventStoreBlocks, s.EventStoreTornTails, s.EventStoreError)
+	}
 }

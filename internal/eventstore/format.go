@@ -1,0 +1,742 @@
+// Package eventstore is the queryable persistence layer for parsed
+// events — the substrate log mining runs on. The stream engine counts
+// template hits but discards the per-line parse stream; this package keeps
+// it: every matched/unmatched decision is appended as an Event into an
+// append-only sequence of segment files made of fixed-size compressed
+// blocks, each finalized with a footer carrying min/max timestamp, min/max
+// sequence, a template-ID bloom filter, a per-block template→count
+// inverted index, and a SHA-256 checksum. A Reader answers
+// template/time-range queries by consulting block metadata first, so a
+// selective query skips (and never decompresses) the blocks that cannot
+// match.
+//
+// Crash discipline extends the WAL's recovery taxonomy: a block cut short
+// by a crash is a torn tail (truncated away on open, the finalized prefix
+// is trustworthy), while bytes that are present but fail verification are
+// corruption (quarantined from that point on). Blocks are finalized and
+// fsynced together with the engine's checkpoints, so a block never spans a
+// successful-checkpoint boundary — on restart the store is aligned to the
+// restored offset and replay refills exactly what was dropped.
+package eventstore
+
+import (
+	"bytes"
+	"compress/flate"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Segment file layout (version 1):
+//
+//	logevents-segment v1\n
+//	firstSeq (8 bytes, little-endian) — the first block's minimum seq
+//	block*
+//
+// Block layout:
+//
+//	magic   "EVB1" (4 bytes)
+//	bodyLen (4 bytes, little-endian) — compressed body byte count
+//	rawLen  (4 bytes, little-endian) — uncompressed body byte count
+//	ftrLen  (4 bytes, little-endian) — footer byte count
+//	body    (bodyLen bytes)          — flate-compressed event records
+//	footer  (ftrLen bytes)           — see below
+//	sum     (32 bytes)               — SHA-256 over header+body+footer
+//
+// Footer layout:
+//
+//	minSeq, maxSeq   (8+8 bytes, little-endian)
+//	minTime, maxTime (8+8 bytes, little-endian, unix nanoseconds)
+//	count            (4 bytes) — events in the block
+//	matched          (4 bytes) — events with Template ≥ 0
+//	bloom            (32 bytes, 256 bits, k=3, over template IDs)
+//	indexN           (4 bytes) — inverted-index entry count
+//	entries          indexN × (uvarint templateID, uvarint count),
+//	                 templateID strictly ascending
+//
+// Event record layout inside the body (delta-coded, running values start
+// at zero at each block's beginning):
+//
+//	uvarint seqDelta  — Seq minus the previous event's Seq (≥ 0: seqs are
+//	                    non-decreasing; late re-matches reuse the current
+//	                    offset)
+//	varint  timeDelta — Time minus the previous event's Time (zigzag)
+//	uvarint tmpl+1    — 0 encodes the unmatched sentinel Template == −1
+//	kind    (1 byte)
+//	uvarint rawOff    — optional raw-line byte offset, 0 when unused
+//
+// A block cut short by a crash is a torn tail: DecodeSegment reports where
+// the finalized prefix ends and Open truncates there. A checksum mismatch,
+// an implausible length, an out-of-order block — anything where the bytes
+// are present but wrong — is corruption, and recovery discards from that
+// point on.
+
+const (
+	segMagic = "logevents-segment v1\n"
+	// segHeaderSize is the magic line plus the 8-byte firstSeq.
+	segHeaderSize = len(segMagic) + 8
+	blockMagic    = "EVB1"
+	// blockHeaderSize is magic(4) + bodyLen(4) + rawLen(4) + ftrLen(4).
+	blockHeaderSize = 16
+	checksumSize    = sha256.Size
+	// footerFixedSize is everything before the variable inverted index:
+	// minSeq(8)+maxSeq(8)+minTime(8)+maxTime(8)+count(4)+matched(4)+
+	// bloom(32)+indexN(4).
+	footerFixedSize = 76
+	// bloomBytes is the per-block template bloom filter width (256 bits).
+	bloomBytes = 32
+)
+
+// MaxBlockBytes bounds one block's raw (uncompressed) body — a
+// plausibility ceiling far above any configured block size, so a corrupted
+// length field is rejected instead of driving a giant allocation.
+const MaxBlockBytes = 64 << 20
+
+// maxFooterBytes bounds the variable-length footer the same way.
+const maxFooterBytes = 8 << 20
+
+// Kind says how an event's line met its template.
+type Kind uint8
+
+const (
+	// KindMatched is a line covered by a known template at process time.
+	KindMatched Kind = iota
+	// KindUnmatched is a line no template covered; it entered the retrain
+	// buffer. Template is −1.
+	KindUnmatched
+	// KindLateMatched is a buffered unmatched line covered after a
+	// retrain. Seq is the offset of the line whose processing triggered
+	// the retrain (the buffer holds no per-line numbers), so seqs stay
+	// non-decreasing.
+	KindLateMatched
+
+	kindLimit
+)
+
+// String renders the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindMatched:
+		return "matched"
+	case KindUnmatched:
+		return "unmatched"
+	case KindLateMatched:
+		return "late"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one parsed-event record: the engine's per-line decision.
+type Event struct {
+	// Seq is the stream line number the decision belongs to (non-
+	// decreasing across a store; KindLateMatched events reuse the current
+	// offset).
+	Seq int64
+	// Time is the decision's wall-clock time in unix nanoseconds.
+	Time int64
+	// Template is the engine's template index, −1 for unmatched.
+	Template int32
+	// Kind is the match outcome.
+	Kind Kind
+	// RawOff optionally points at the line's byte offset in a raw-line
+	// archive; 0 when no archive is kept.
+	RawOff int64
+}
+
+// TornTailError reports a segment whose final block was cut short — the
+// signature of a crash mid-write, not of data damage. Offset is where the
+// finalized prefix ends; everything before it is intact and trustworthy.
+type TornTailError struct {
+	Path   string
+	Offset int64
+}
+
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("eventstore: torn tail in %s at offset %d", e.Path, e.Offset)
+}
+
+// CorruptError reports segment bytes that are physically present but
+// cannot be trusted: a checksum mismatch, an implausible length, a broken
+// header, an out-of-order block. Offset is where the valid prefix ends.
+type CorruptError struct {
+	Path   string
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("eventstore: corrupt segment %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// SegmentInfo summarizes the valid prefix of one decoded segment image.
+type SegmentInfo struct {
+	// FirstSeq is the header's first sequence number.
+	FirstSeq int64
+	// LastSeq is the last finalized block's maximum seq (0 when the
+	// segment holds no finalized blocks).
+	LastSeq int64
+	// Blocks counts the finalized blocks; Events their events.
+	Blocks int
+	Events int64
+	// Good is the byte length of the valid prefix: the header plus every
+	// whole, verified block. Truncating the file to Good removes a torn
+	// or corrupt tail without touching trustworthy data.
+	Good int64
+}
+
+// SegmentHeader returns the encoded header of a segment whose first block
+// starts at firstSeq. Exported for tests and fuzz seeds.
+func SegmentHeader(firstSeq int64) []byte {
+	buf := make([]byte, 0, segHeaderSize)
+	buf = append(buf, segMagic...)
+	return binary.LittleEndian.AppendUint64(buf, uint64(firstSeq))
+}
+
+// blockMeta is the decoded footer of one finalized block plus its position
+// in the segment file.
+type blockMeta struct {
+	off  int64 // block start offset in the segment file
+	size int64 // total encoded length (header+body+footer+sum)
+
+	minSeq, maxSeq   int64
+	minTime, maxTime int64
+	count, matched   uint32
+	bloom            [bloomBytes]byte
+	rawLen           uint32
+}
+
+// IndexEntry is one inverted-index row: how many events of one template a
+// block holds (matched and late-matched kinds together).
+type IndexEntry struct {
+	Template int32
+	Count    int64
+}
+
+// splitmix64 is the bloom filter's mixer (the SplitMix64 finalizer).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// bloomAdd sets template id's k=3 bits.
+func bloomAdd(b *[bloomBytes]byte, id int32) {
+	h := splitmix64(uint64(uint32(id)))
+	for i := 0; i < 3; i++ {
+		bit := uint(h) & 255
+		b[bit>>3] |= 1 << (bit & 7)
+		h >>= 16
+	}
+}
+
+// bloomMaybe reports whether template id may be present (no false
+// negatives).
+func bloomMaybe(b *[bloomBytes]byte, id int32) bool {
+	h := splitmix64(uint64(uint32(id)))
+	for i := 0; i < 3; i++ {
+		bit := uint(h) & 255
+		if b[bit>>3]&(1<<(bit&7)) == 0 {
+			return false
+		}
+		h >>= 16
+	}
+	return true
+}
+
+// appendEventRecord delta-encodes one event against prev.
+func appendEventRecord(buf []byte, prev, ev Event) []byte {
+	buf = binary.AppendUvarint(buf, uint64(ev.Seq-prev.Seq))
+	buf = binary.AppendVarint(buf, ev.Time-prev.Time)
+	buf = binary.AppendUvarint(buf, uint64(ev.Template+1))
+	buf = append(buf, byte(ev.Kind))
+	return binary.AppendUvarint(buf, uint64(ev.RawOff))
+}
+
+// decodeEvents walks a raw (decompressed) block body, calling fn for each
+// event. meta supplies the footer's claims, which the walk verifies:
+// count, seq bounds and monotonicity. Returns a *CorruptError (with empty
+// Path/Offset for the caller to fill) on any structural violation.
+func decodeEvents(raw []byte, meta blockMeta, fn func(Event) error) error {
+	var prev Event
+	var n uint32
+	for len(raw) > 0 {
+		seqDelta, k := binary.Uvarint(raw)
+		if k <= 0 {
+			return &CorruptError{Reason: "bad event seq delta"}
+		}
+		raw = raw[k:]
+		timeDelta, k := binary.Varint(raw)
+		if k <= 0 {
+			return &CorruptError{Reason: "bad event time delta"}
+		}
+		raw = raw[k:]
+		tmpl, k := binary.Uvarint(raw)
+		if k <= 0 || tmpl > 1<<31 {
+			return &CorruptError{Reason: "bad event template"}
+		}
+		raw = raw[k:]
+		if len(raw) == 0 {
+			return &CorruptError{Reason: "truncated event record"}
+		}
+		kind := Kind(raw[0])
+		if kind >= kindLimit {
+			return &CorruptError{Reason: fmt.Sprintf("unknown event kind %d", kind)}
+		}
+		raw = raw[1:]
+		rawOff, k := binary.Uvarint(raw)
+		if k <= 0 {
+			return &CorruptError{Reason: "bad event raw offset"}
+		}
+		raw = raw[k:]
+		ev := Event{
+			Seq:      prev.Seq + int64(seqDelta),
+			Time:     prev.Time + timeDelta,
+			Template: int32(tmpl) - 1,
+			Kind:     kind,
+			RawOff:   int64(rawOff),
+		}
+		if n == 0 {
+			if ev.Seq != meta.minSeq {
+				return &CorruptError{Reason: "first event seq disagrees with footer"}
+			}
+		}
+		n++
+		if n > meta.count {
+			return &CorruptError{Reason: "more events than the footer claims"}
+		}
+		if ev.Seq > meta.maxSeq {
+			return &CorruptError{Reason: "event seq above the footer maximum"}
+		}
+		prev = ev
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return err
+			}
+		}
+	}
+	if n != meta.count {
+		return &CorruptError{Reason: fmt.Sprintf("footer claims %d events, body holds %d", meta.count, n)}
+	}
+	if n > 0 && prev.Seq != meta.maxSeq {
+		return &CorruptError{Reason: "last event seq disagrees with footer"}
+	}
+	return nil
+}
+
+// decodeFooter parses a block footer. idx, when non-nil, receives the
+// inverted index (appended).
+func decodeFooter(ftr []byte, idx *[]IndexEntry) (blockMeta, error) {
+	var m blockMeta
+	if len(ftr) < footerFixedSize {
+		return m, &CorruptError{Reason: "short block footer"}
+	}
+	m.minSeq = int64(binary.LittleEndian.Uint64(ftr[0:8]))
+	m.maxSeq = int64(binary.LittleEndian.Uint64(ftr[8:16]))
+	m.minTime = int64(binary.LittleEndian.Uint64(ftr[16:24]))
+	m.maxTime = int64(binary.LittleEndian.Uint64(ftr[24:32]))
+	m.count = binary.LittleEndian.Uint32(ftr[32:36])
+	m.matched = binary.LittleEndian.Uint32(ftr[36:40])
+	copy(m.bloom[:], ftr[40:40+bloomBytes])
+	indexN := binary.LittleEndian.Uint32(ftr[72:76])
+	if m.count == 0 {
+		return m, &CorruptError{Reason: "empty block"}
+	}
+	if m.minSeq > m.maxSeq || m.minTime > m.maxTime {
+		return m, &CorruptError{Reason: "inverted footer bounds"}
+	}
+	if m.matched > m.count {
+		return m, &CorruptError{Reason: "footer matched above count"}
+	}
+	rest := ftr[footerFixedSize:]
+	prevID := int64(-1)
+	var total int64
+	for i := uint32(0); i < indexN; i++ {
+		id, k := binary.Uvarint(rest)
+		if k <= 0 || id > 1<<31-1 {
+			return m, &CorruptError{Reason: "bad index template id"}
+		}
+		rest = rest[k:]
+		cnt, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return m, &CorruptError{Reason: "bad index count"}
+		}
+		rest = rest[k:]
+		if int64(id) <= prevID {
+			return m, &CorruptError{Reason: "index template ids not ascending"}
+		}
+		prevID = int64(id)
+		total += int64(cnt)
+		if idx != nil {
+			*idx = append(*idx, IndexEntry{Template: int32(id), Count: int64(cnt)})
+		}
+	}
+	if len(rest) != 0 {
+		return m, &CorruptError{Reason: "trailing footer bytes"}
+	}
+	if total != int64(m.matched) {
+		return m, &CorruptError{Reason: "index counts disagree with footer matched"}
+	}
+	return m, nil
+}
+
+// scanBlock verifies and parses the block starting at data[off:]. body is
+// the compressed body slice (a view into data); idx receives the inverted
+// index when non-nil. Errors carry no Path and an offset relative to off;
+// callers translate.
+func scanBlock(data []byte, off int, idx *[]IndexEntry) (meta blockMeta, body []byte, err error) {
+	rem := len(data) - off
+	if rem < blockHeaderSize {
+		// Distinguish a header cut short mid-write from trailing garbage:
+		// a prefix of the magic is torn, anything else is corruption.
+		n := rem
+		if n > len(blockMagic) {
+			n = len(blockMagic)
+		}
+		if !bytes.Equal(data[off:off+n], []byte(blockMagic)[:n]) {
+			return meta, nil, &CorruptError{Reason: "bad block magic"}
+		}
+		return meta, nil, &TornTailError{}
+	}
+	if string(data[off:off+4]) != blockMagic {
+		return meta, nil, &CorruptError{Reason: "bad block magic"}
+	}
+	bodyLen := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	rawLen := binary.LittleEndian.Uint32(data[off+8 : off+12])
+	ftrLen := binary.LittleEndian.Uint32(data[off+12 : off+16])
+	if bodyLen > MaxBlockBytes || rawLen > MaxBlockBytes {
+		return meta, nil, &CorruptError{Reason: "implausible block body length"}
+	}
+	if ftrLen > maxFooterBytes {
+		return meta, nil, &CorruptError{Reason: "implausible block footer length"}
+	}
+	total := blockHeaderSize + int(bodyLen) + int(ftrLen) + checksumSize
+	if rem < total {
+		return meta, nil, &TornTailError{}
+	}
+	sumStart := off + blockHeaderSize + int(bodyLen) + int(ftrLen)
+	sum := sha256.Sum256(data[off:sumStart])
+	if !bytes.Equal(sum[:], data[sumStart:sumStart+checksumSize]) {
+		return meta, nil, &CorruptError{Reason: "block checksum mismatch"}
+	}
+	ftr := data[off+blockHeaderSize+int(bodyLen) : sumStart]
+	meta, err = decodeFooter(ftr, idx)
+	if err != nil {
+		return meta, nil, err
+	}
+	meta.rawLen = rawLen
+	meta.size = int64(total)
+	return meta, data[off+blockHeaderSize : off+blockHeaderSize+int(bodyLen)], nil
+}
+
+// inflateBlock decompresses a block body into dst (reused when large
+// enough) and verifies the advertised raw length.
+func inflateBlock(body []byte, rawLen uint32, dst []byte) ([]byte, error) {
+	if cap(dst) < int(rawLen) {
+		dst = make([]byte, rawLen)
+	}
+	dst = dst[:rawLen]
+	fr := flate.NewReader(bytes.NewReader(body))
+	n, err := io.ReadFull(fr, dst)
+	if err != nil {
+		return nil, &CorruptError{Reason: fmt.Sprintf("block body inflate: %v (%d/%d bytes)", err, n, rawLen)}
+	}
+	// The body must end exactly at rawLen: trailing compressed data means
+	// the header lied.
+	var one [1]byte
+	if m, _ := fr.Read(one[:]); m != 0 {
+		return nil, &CorruptError{Reason: "block body longer than advertised"}
+	}
+	fr.Close()
+	return dst, nil
+}
+
+// DecodeSegment walks one segment image, verifying every block (checksum,
+// footer consistency, decompression, event structure) and calling fn (when
+// non-nil) for each event in order. It never panics on malformed input:
+// the returned error is nil for a clean segment, a *TornTailError when the
+// image ends mid-block (a crash signature — the prefix in SegmentInfo.Good
+// is trustworthy), a *CorruptError when bytes present fail verification,
+// or fn's own error, which stops the walk. Path fields of returned errors
+// are empty; file-level callers fill them in. Exported for the fuzz target
+// and tests; Open and the Reader use the same walk.
+func DecodeSegment(data []byte, fn func(Event) error) (SegmentInfo, error) {
+	var info SegmentInfo
+	if len(data) < segHeaderSize {
+		n := len(data)
+		if n > len(segMagic) {
+			n = len(segMagic)
+		}
+		if bytes.Equal(data[:n], []byte(segMagic)[:n]) {
+			return info, &TornTailError{Offset: 0}
+		}
+		return info, &CorruptError{Offset: 0, Reason: "bad magic header"}
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return info, &CorruptError{Offset: 0, Reason: "bad magic header"}
+	}
+	info.FirstSeq = int64(binary.LittleEndian.Uint64(data[len(segMagic):segHeaderSize]))
+	if info.FirstSeq < 0 {
+		return info, &CorruptError{Offset: 0, Reason: "negative first sequence"}
+	}
+	info.Good = int64(segHeaderSize)
+	off := segHeaderSize
+	prevMax := int64(-1)
+	var inflated []byte
+	for off < len(data) {
+		meta, body, err := scanBlock(data, off, nil)
+		if err != nil {
+			setErrOffset(err, int64(off))
+			return info, err
+		}
+		if info.Blocks == 0 && meta.minSeq != info.FirstSeq {
+			return info, &CorruptError{Offset: int64(off), Reason: "first block disagrees with header firstSeq"}
+		}
+		if prevMax >= 0 && meta.minSeq < prevMax {
+			return info, &CorruptError{Offset: int64(off), Reason: fmt.Sprintf("block minSeq %d below previous maxSeq %d", meta.minSeq, prevMax)}
+		}
+		inflated, err = inflateBlock(body, meta.rawLen, inflated)
+		if err != nil {
+			setErrOffset(err, int64(off))
+			return info, err
+		}
+		if err := decodeEvents(inflated, meta, fn); err != nil {
+			setErrOffset(err, int64(off))
+			return info, err
+		}
+		prevMax = meta.maxSeq
+		info.LastSeq = meta.maxSeq
+		info.Blocks++
+		info.Events += int64(meta.count)
+		off += int(meta.size)
+		info.Good = int64(off)
+	}
+	return info, nil
+}
+
+// setErrOffset fills the Offset of a taxonomy error produced below the
+// segment walk (which reports offsets relative to its own start).
+func setErrOffset(err error, off int64) {
+	switch e := err.(type) {
+	case *TornTailError:
+		e.Offset += off
+	case *CorruptError:
+		e.Offset += off
+	}
+}
+
+// scanSegmentMeta is DecodeSegment's metadata-only sibling: it verifies
+// headers, checksums and footers and reports each block's meta (with the
+// inverted index when wantIndex), but never decompresses a body — the walk
+// Open and OpenReader use.
+func scanSegmentMeta(data []byte, wantIndex bool, fn func(meta blockMeta, index []IndexEntry) error) (SegmentInfo, error) {
+	var info SegmentInfo
+	if len(data) < segHeaderSize {
+		n := len(data)
+		if n > len(segMagic) {
+			n = len(segMagic)
+		}
+		if bytes.Equal(data[:n], []byte(segMagic)[:n]) {
+			return info, &TornTailError{Offset: 0}
+		}
+		return info, &CorruptError{Offset: 0, Reason: "bad magic header"}
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return info, &CorruptError{Offset: 0, Reason: "bad magic header"}
+	}
+	info.FirstSeq = int64(binary.LittleEndian.Uint64(data[len(segMagic):segHeaderSize]))
+	if info.FirstSeq < 0 {
+		return info, &CorruptError{Offset: 0, Reason: "negative first sequence"}
+	}
+	info.Good = int64(segHeaderSize)
+	off := segHeaderSize
+	prevMax := int64(-1)
+	for off < len(data) {
+		var index []IndexEntry
+		idxDst := &index
+		if !wantIndex {
+			idxDst = nil
+		}
+		meta, _, err := scanBlock(data, off, idxDst)
+		if err != nil {
+			setErrOffset(err, int64(off))
+			return info, err
+		}
+		if info.Blocks == 0 && meta.minSeq != info.FirstSeq {
+			return info, &CorruptError{Offset: int64(off), Reason: "first block disagrees with header firstSeq"}
+		}
+		if prevMax >= 0 && meta.minSeq < prevMax {
+			return info, &CorruptError{Offset: int64(off), Reason: fmt.Sprintf("block minSeq %d below previous maxSeq %d", meta.minSeq, prevMax)}
+		}
+		meta.off = int64(off)
+		if fn != nil {
+			if err := fn(meta, index); err != nil {
+				return info, err
+			}
+		}
+		prevMax = meta.maxSeq
+		info.LastSeq = meta.maxSeq
+		info.Blocks++
+		info.Events += int64(meta.count)
+		off += int(meta.size)
+		info.Good = int64(off)
+	}
+	return info, nil
+}
+
+// blockBuilder accumulates one block's events and seals them into the
+// encoded block image. All buffers are reused across blocks.
+type blockBuilder struct {
+	raw              []byte // delta-encoded event records
+	prev             Event  // running delta base
+	count            uint32
+	match            uint32
+	minSeq, maxSeq   int64
+	minTime, maxTime int64
+	bloom            [bloomBytes]byte
+	counts           map[int32]int64 // per-template matched+late counts
+
+	fw     *flate.Writer
+	cmp    bytes.Buffer
+	idxIDs []int32 // seal's reusable sorted-id scratch
+}
+
+func (b *blockBuilder) reset() {
+	b.raw = b.raw[:0]
+	b.prev = Event{}
+	b.count, b.match = 0, 0
+	b.minSeq, b.maxSeq = 0, 0
+	b.minTime, b.maxTime = 0, 0
+	b.bloom = [bloomBytes]byte{}
+	if b.counts == nil {
+		b.counts = make(map[int32]int64)
+	} else {
+		clear(b.counts)
+	}
+}
+
+// add appends one event. The caller has validated seq ordering.
+func (b *blockBuilder) add(ev Event) {
+	if b.count == 0 {
+		b.minSeq, b.maxSeq = ev.Seq, ev.Seq
+		b.minTime, b.maxTime = ev.Time, ev.Time
+	} else {
+		if ev.Time < b.minTime {
+			b.minTime = ev.Time
+		}
+		if ev.Time > b.maxTime {
+			b.maxTime = ev.Time
+		}
+		b.maxSeq = ev.Seq
+	}
+	b.raw = appendEventRecord(b.raw, b.prev, ev)
+	b.prev = ev
+	b.count++
+	if ev.Template >= 0 {
+		b.match++
+		bloomAdd(&b.bloom, ev.Template)
+		b.counts[ev.Template]++
+	}
+}
+
+// seal compresses the accumulated events and appends the complete block
+// image (header, body, footer, checksum) to dst, returning the extended
+// slice and the block's meta. The builder must hold at least one event.
+func (b *blockBuilder) seal(dst []byte) ([]byte, blockMeta, error) {
+	b.cmp.Reset()
+	if b.fw == nil {
+		fw, err := flate.NewWriter(&b.cmp, flate.BestSpeed)
+		if err != nil {
+			return dst, blockMeta{}, err
+		}
+		b.fw = fw
+	} else {
+		b.fw.Reset(&b.cmp)
+	}
+	if _, err := b.fw.Write(b.raw); err != nil {
+		return dst, blockMeta{}, err
+	}
+	if err := b.fw.Close(); err != nil {
+		return dst, blockMeta{}, err
+	}
+	body := b.cmp.Bytes()
+
+	start := len(dst)
+	dst = append(dst, blockMagic...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.raw)))
+	ftrLen := footerFixedSize
+	b.idxIDs = b.idxIDs[:0]
+	for id := range b.counts {
+		b.idxIDs = append(b.idxIDs, id)
+	}
+	sortInt32s(b.idxIDs)
+	// Footer length is not known until the varints are written; reserve
+	// the slot and patch it after.
+	ftrLenAt := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, 0)
+	dst = append(dst, body...)
+
+	ftrStart := len(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(b.minSeq))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(b.maxSeq))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(b.minTime))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(b.maxTime))
+	dst = binary.LittleEndian.AppendUint32(dst, b.count)
+	dst = binary.LittleEndian.AppendUint32(dst, b.match)
+	dst = append(dst, b.bloom[:]...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.idxIDs)))
+	for _, id := range b.idxIDs {
+		dst = binary.AppendUvarint(dst, uint64(id))
+		dst = binary.AppendUvarint(dst, uint64(b.counts[id]))
+	}
+	ftrLen = len(dst) - ftrStart
+	binary.LittleEndian.PutUint32(dst[ftrLenAt:], uint32(ftrLen))
+
+	sum := sha256.Sum256(dst[start:])
+	dst = append(dst, sum[:]...)
+
+	meta := blockMeta{
+		size:    int64(len(dst) - start),
+		minSeq:  b.minSeq,
+		maxSeq:  b.maxSeq,
+		minTime: b.minTime,
+		maxTime: b.maxTime,
+		count:   b.count,
+		matched: b.match,
+		bloom:   b.bloom,
+		rawLen:  uint32(len(b.raw)),
+	}
+	return dst, meta, nil
+}
+
+// sortInt32s is a small insertion sort — per-block distinct-template
+// counts are tiny, and avoiding sort.Slice keeps seal allocation-free.
+func sortInt32s(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// AppendBlock encodes events as one complete block image appended to dst —
+// the test and fuzz-seed constructor for hand-built segments. Events must
+// be non-empty with non-decreasing seqs.
+func AppendBlock(dst []byte, events []Event) ([]byte, error) {
+	if len(events) == 0 {
+		return dst, fmt.Errorf("eventstore: AppendBlock needs at least one event")
+	}
+	var b blockBuilder
+	b.reset()
+	for i, ev := range events {
+		if i > 0 && ev.Seq < events[i-1].Seq {
+			return dst, fmt.Errorf("eventstore: AppendBlock events out of order")
+		}
+		b.add(ev)
+	}
+	dst, _, err := b.seal(dst)
+	return dst, err
+}

@@ -1,0 +1,454 @@
+package eventstore
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"logparse/internal/telemetry"
+)
+
+// Query selects events by template and time. Tenancy is directory-level:
+// a Reader is opened over one tenant's store directory, so there is no
+// tenant field here — the server resolves <events root>/tenants/<id>
+// before opening.
+type Query struct {
+	// TemplateIDs restricts the result to events of these engine template
+	// indices (matched and late-matched kinds). Empty means every
+	// template.
+	TemplateIDs []int32
+	// From and To bound the event time, inclusive; zero values mean
+	// unbounded.
+	From, To time.Time
+	// IncludeUnmatched additionally selects unmatched events (Template
+	// −1). Ignored when TemplateIDs is non-empty — unmatched events have
+	// no template to name.
+	IncludeUnmatched bool
+	// Limit caps the events Scan yields (0 = unlimited). Count and
+	// TemplateCounts ignore it.
+	Limit int
+}
+
+// timeBounds renders the query's time range as unix nanoseconds with
+// open ends saturated.
+func (q Query) timeBounds() (from, to int64) {
+	from, to = math.MinInt64, math.MaxInt64
+	if !q.From.IsZero() {
+		from = q.From.UnixNano()
+	}
+	if !q.To.IsZero() {
+		to = q.To.UnixNano()
+	}
+	return from, to
+}
+
+// matches reports whether one decoded event satisfies the query.
+func (q Query) matches(ev Event, from, to int64) bool {
+	if ev.Time < from || ev.Time > to {
+		return false
+	}
+	if len(q.TemplateIDs) > 0 {
+		if ev.Template < 0 {
+			return false
+		}
+		for _, id := range q.TemplateIDs {
+			if id == ev.Template {
+				return true
+			}
+		}
+		return false
+	}
+	if ev.Template < 0 {
+		return q.IncludeUnmatched
+	}
+	return ev.Kind != KindUnmatched
+}
+
+// QueryStats reports how much work one query did — the skip-scan
+// accounting the effectiveness tests assert on.
+type QueryStats struct {
+	// Blocks is the store's finalized block count; Skipped of them were
+	// eliminated on metadata alone (time range, bloom filter, footer
+	// index) without touching their bytes.
+	Blocks  int `json:"blocks"`
+	Skipped int `json:"skipped"`
+	// IndexOnly counts blocks answered exactly from the footer's
+	// inverted index — consulted, never decompressed.
+	IndexOnly int `json:"index_only"`
+	// Decompressed counts blocks whose body was actually inflated;
+	// BytesDecompressed is their total raw size.
+	Decompressed      int   `json:"decompressed"`
+	BytesDecompressed int64 `json:"bytes_decompressed"`
+	// Events counts events decoded; Selected of them satisfied the query.
+	Events   int64 `json:"events_scanned"`
+	Selected int64 `json:"selected"`
+}
+
+// ReaderOptions configures OpenReader.
+type ReaderOptions struct {
+	// Telemetry, when non-nil, publishes eventstore.query.* metrics.
+	Telemetry *telemetry.Handle
+}
+
+// ReadInfo reports what OpenReader found.
+type ReadInfo struct {
+	Segments int
+	Blocks   int
+	Events   int64
+	LastSeq  int64
+	// TornTail is true when the newest segment ended mid-block — normal
+	// when reading under a live writer; the finalized prefix is served.
+	TornTail bool
+	// Damaged carries the reason scanning stopped early on corrupt bytes
+	// (the prefix before the damage is still served), empty when clean.
+	Damaged string
+}
+
+// readBlock is one finalized block's metadata plus its location.
+type readBlock struct {
+	seg  int
+	meta blockMeta
+	// index is the footer's template→count inverted index (matched plus
+	// late-matched events).
+	index []IndexEntry
+}
+
+type readerTelemetry struct {
+	queries    *telemetry.Counter
+	blocksRead *telemetry.Counter
+	skipped    *telemetry.Counter
+	bytesInfl  *telemetry.Counter
+	querySec   *telemetry.Histogram
+}
+
+func newReaderTelemetry(h *telemetry.Handle) readerTelemetry {
+	return readerTelemetry{
+		queries:    h.Counter("eventstore.queries"),
+		blocksRead: h.Counter("eventstore.blocks.read"),
+		skipped:    h.Counter("eventstore.blocks.skipped"),
+		bytesInfl:  h.Counter("eventstore.bytes.decompressed"),
+		querySec:   h.Histogram("eventstore.query.seconds", telemetry.DurationBuckets),
+	}
+}
+
+// Reader answers queries over one store directory, read-only. It snapshots
+// block metadata at open time; blocks finalized later are not visible
+// (open a fresh Reader to see them). Safe for concurrent use.
+type Reader struct {
+	paths  []string
+	blocks []readBlock
+	tm     readerTelemetry
+	now    func() time.Time
+}
+
+// OpenReader scans dir's segments read-only. Crash damage is tolerated,
+// never repaired: a torn tail or corrupt block stops the metadata scan at
+// the last verified block (recorded in ReadInfo) and the surviving prefix
+// is served — repair belongs to the writer's Open.
+func OpenReader(dir string, opts ReaderOptions) (*Reader, ReadInfo, error) {
+	var info ReadInfo
+	names, err := filepath.Glob(filepath.Join(dir, "evt-*.seg"))
+	if err != nil {
+		return nil, info, fmt.Errorf("eventstore: scan dir: %w", err)
+	}
+	sort.Strings(names)
+	r := &Reader{tm: newReaderTelemetry(opts.Telemetry), now: time.Now}
+	for _, path := range names {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, info, fmt.Errorf("eventstore: read segment: %w", err)
+		}
+		segIdx := len(r.paths)
+		r.paths = append(r.paths, path)
+		meta, derr := scanSegmentMeta(data, true, func(m blockMeta, index []IndexEntry) error {
+			r.blocks = append(r.blocks, readBlock{seg: segIdx, meta: m, index: index})
+			return nil
+		})
+		info.Blocks += meta.Blocks
+		info.Events += meta.Events
+		if meta.Blocks > 0 {
+			info.LastSeq = meta.LastSeq
+		}
+		switch e := derr.(type) {
+		case nil:
+		case *TornTailError:
+			info.TornTail = true
+		case *CorruptError:
+			e.Path = path
+			info.Damaged = e.Error()
+		default:
+			return nil, info, derr
+		}
+		if derr != nil {
+			break // nothing after damage is trustworthy
+		}
+	}
+	info.Segments = len(r.paths)
+	return r, info, nil
+}
+
+// Scan streams every selected event, in store order, to fn. Blocks that
+// cannot hold a selected event — time range disjoint, bloom filter
+// missing every requested template — are skipped without being read or
+// decompressed. fn's error stops the scan and is returned.
+func (r *Reader) Scan(q Query, fn func(Event) error) (QueryStats, error) {
+	start := r.now()
+	defer func() { r.tm.querySec.Observe(r.now().Sub(start).Seconds()) }()
+	r.tm.queries.Inc()
+	from, to := q.timeBounds()
+	var st QueryStats
+	st.Blocks = len(r.blocks)
+	var f *os.File
+	var fSeg = -1
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	var blockBuf, rawBuf []byte
+	yielded := 0
+	for _, rb := range r.blocks {
+		if r.skip(rb, q, from, to) {
+			st.Skipped++
+			r.tm.skipped.Inc()
+			continue
+		}
+		if f == nil || fSeg != rb.seg {
+			if f != nil {
+				f.Close()
+			}
+			var err error
+			f, err = os.Open(r.paths[rb.seg])
+			if err != nil {
+				return st, fmt.Errorf("eventstore: open segment: %w", err)
+			}
+			fSeg = rb.seg
+		}
+		if cap(blockBuf) < int(rb.meta.size) {
+			blockBuf = make([]byte, rb.meta.size)
+		}
+		blockBuf = blockBuf[:rb.meta.size]
+		if _, err := f.ReadAt(blockBuf, rb.meta.off); err != nil {
+			return st, fmt.Errorf("eventstore: read block: %w", err)
+		}
+		meta, body, err := scanBlock(blockBuf, 0, nil)
+		if err != nil {
+			setErrOffset(err, rb.meta.off)
+			setErrPath(err, r.paths[rb.seg])
+			return st, err
+		}
+		rawBuf, err = inflateBlock(body, meta.rawLen, rawBuf)
+		if err != nil {
+			setErrPath(err, r.paths[rb.seg])
+			return st, err
+		}
+		st.Decompressed++
+		st.BytesDecompressed += int64(meta.rawLen)
+		r.tm.blocksRead.Inc()
+		r.tm.bytesInfl.Add(uint64(meta.rawLen))
+		stop := errLimitReached
+		err = decodeEvents(rawBuf, meta, func(ev Event) error {
+			st.Events++
+			if !q.matches(ev, from, to) {
+				return nil
+			}
+			st.Selected++
+			if err := fn(ev); err != nil {
+				return err
+			}
+			yielded++
+			if q.Limit > 0 && yielded >= q.Limit {
+				return stop
+			}
+			return nil
+		})
+		if err == stop {
+			return st, nil
+		}
+		if err != nil {
+			setErrPath(err, r.paths[rb.seg])
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// errLimitReached is Scan's internal early-exit sentinel.
+var errLimitReached = fmt.Errorf("eventstore: limit reached")
+
+// setErrPath fills the Path of a taxonomy error surfaced from a read.
+func setErrPath(err error, path string) {
+	switch e := err.(type) {
+	case *TornTailError:
+		e.Path = path
+	case *CorruptError:
+		e.Path = path
+	}
+}
+
+// skip reports whether a block cannot hold any selected event, on
+// metadata alone.
+func (r *Reader) skip(rb readBlock, q Query, from, to int64) bool {
+	if rb.meta.maxTime < from || rb.meta.minTime > to {
+		return true
+	}
+	if len(q.TemplateIDs) > 0 {
+		for _, id := range q.TemplateIDs {
+			if bloomMaybe(&rb.meta.bloom, id) && indexCount(rb.index, id) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if !q.IncludeUnmatched && rb.meta.matched == 0 {
+		return true
+	}
+	return false
+}
+
+// covered reports whether the block's whole time span is inside the
+// query's range — when it is, the footer index answers counting queries
+// exactly, with no decompression.
+func covered(m blockMeta, from, to int64) bool {
+	return from <= m.minTime && m.maxTime <= to
+}
+
+// indexCount looks one template up in a block's inverted index.
+func indexCount(index []IndexEntry, id int32) int64 {
+	lo, hi := 0, len(index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if index[mid].Template < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(index) && index[lo].Template == id {
+		return index[lo].Count
+	}
+	return 0
+}
+
+// Count returns how many events satisfy the query. Blocks fully inside
+// the time range are answered from the footer index alone; only blocks
+// the range cuts through are decompressed.
+func (r *Reader) Count(q Query) (int64, QueryStats, error) {
+	counts, st, err := r.templateCounts(q)
+	if err != nil {
+		return 0, st, err
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total, st, nil
+}
+
+// TemplateCounts returns per-template selected-event counts — the query
+// engine behind logquery's top-templates mode, and the conformance
+// bridge: over a store written by one engine run, TemplateCounts of the
+// unbounded query equals the engine's per-template counts exactly.
+// Unmatched events (when included) count under key −1.
+func (r *Reader) TemplateCounts(q Query) (map[int32]int64, QueryStats, error) {
+	return r.templateCounts(q)
+}
+
+func (r *Reader) templateCounts(q Query) (map[int32]int64, QueryStats, error) {
+	start := r.now()
+	defer func() { r.tm.querySec.Observe(r.now().Sub(start).Seconds()) }()
+	r.tm.queries.Inc()
+	from, to := q.timeBounds()
+	counts := make(map[int32]int64)
+	var st QueryStats
+	st.Blocks = len(r.blocks)
+	var f *os.File
+	fSeg := -1
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	var blockBuf, rawBuf []byte
+	for _, rb := range r.blocks {
+		if r.skip(rb, q, from, to) {
+			st.Skipped++
+			r.tm.skipped.Inc()
+			continue
+		}
+		if covered(rb.meta, from, to) {
+			// The footer index is exact for matched+late events; the
+			// unmatched remainder is count−matched. No bytes touched.
+			st.IndexOnly++
+			if len(q.TemplateIDs) > 0 {
+				for _, id := range q.TemplateIDs {
+					if c := indexCount(rb.index, id); c > 0 {
+						counts[id] += c
+						st.Selected += c
+					}
+				}
+			} else {
+				for _, e := range rb.index {
+					counts[e.Template] += e.Count
+					st.Selected += e.Count
+				}
+				if q.IncludeUnmatched {
+					un := int64(rb.meta.count) - int64(rb.meta.matched)
+					counts[-1] += un
+					st.Selected += un
+				}
+			}
+			continue
+		}
+		if f == nil || fSeg != rb.seg {
+			if f != nil {
+				f.Close()
+			}
+			var err error
+			f, err = os.Open(r.paths[rb.seg])
+			if err != nil {
+				return counts, st, fmt.Errorf("eventstore: open segment: %w", err)
+			}
+			fSeg = rb.seg
+		}
+		if cap(blockBuf) < int(rb.meta.size) {
+			blockBuf = make([]byte, rb.meta.size)
+		}
+		blockBuf = blockBuf[:rb.meta.size]
+		if _, err := f.ReadAt(blockBuf, rb.meta.off); err != nil {
+			return counts, st, fmt.Errorf("eventstore: read block: %w", err)
+		}
+		meta, body, err := scanBlock(blockBuf, 0, nil)
+		if err != nil {
+			setErrOffset(err, rb.meta.off)
+			setErrPath(err, r.paths[rb.seg])
+			return counts, st, err
+		}
+		rawBuf, err = inflateBlock(body, meta.rawLen, rawBuf)
+		if err != nil {
+			setErrPath(err, r.paths[rb.seg])
+			return counts, st, err
+		}
+		st.Decompressed++
+		st.BytesDecompressed += int64(meta.rawLen)
+		r.tm.blocksRead.Inc()
+		r.tm.bytesInfl.Add(uint64(meta.rawLen))
+		err = decodeEvents(rawBuf, meta, func(ev Event) error {
+			st.Events++
+			if !q.matches(ev, from, to) {
+				return nil
+			}
+			st.Selected++
+			counts[ev.Template]++
+			return nil
+		})
+		if err != nil {
+			setErrPath(err, r.paths[rb.seg])
+			return counts, st, err
+		}
+	}
+	return counts, st, nil
+}

@@ -1,0 +1,190 @@
+package eventstore
+
+import (
+	"testing"
+	"time"
+
+	"logparse/internal/telemetry"
+)
+
+// buildSkipCorpus writes a multi-block corpus where template activity is
+// time-localized: the stream walks through templates 0..49 in long runs,
+// so any single template occupies only a narrow band of blocks. This is
+// the access pattern skip-scan exists for — "which blocks can hold
+// template T in window W" has a small answer.
+func buildSkipCorpus(t testing.TB, dir string) (blocks int) {
+	t.Helper()
+	s, _, err := Open(Options{Dir: dir, BlockBytes: 512, SegmentBytes: 32 << 10})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ev := Event{
+			Seq:      int64(i + 1),
+			Time:     int64(i) * int64(time.Millisecond),
+			Template: int32(i / (n / 50)), // 50 templates, 400-line runs
+			Kind:     KindMatched,
+		}
+		if err := s.Append(ev); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	blocks = s.Stats().Blocks
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return blocks
+}
+
+func TestSkipScanSelectiveQuery(t *testing.T) {
+	dir := t.TempDir()
+	blocks := buildSkipCorpus(t, dir)
+	if blocks < 50 {
+		t.Fatalf("corpus too small for a skip-scan test: %d blocks", blocks)
+	}
+
+	tm := telemetry.New()
+	r, info, err := OpenReader(dir, ReaderOptions{Telemetry: tm})
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	if info.Blocks != blocks {
+		t.Fatalf("reader sees %d blocks, writer wrote %d", info.Blocks, blocks)
+	}
+
+	// Template 7's run is lines 2800..3199, times 2.8s..3.2s. Query it in
+	// a window covering the run's middle half.
+	q := Query{
+		TemplateIDs: []int32{7},
+		From:        time.Unix(0, int64(2900)*int64(time.Millisecond)),
+		To:          time.Unix(0, int64(3100)*int64(time.Millisecond)),
+	}
+	var got int64
+	st, err := r.Scan(q, func(ev Event) error {
+		if ev.Template != 7 {
+			t.Fatalf("selected template %d", ev.Template)
+		}
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if got != 201 { // inclusive bounds: lines 2900..3100
+		t.Fatalf("selected %d events, want 201", got)
+	}
+	if st.Blocks != blocks {
+		t.Fatalf("stats blocks %d != corpus %d", st.Blocks, blocks)
+	}
+
+	// The acceptance bar: the selective query must skip >90% of blocks and
+	// decompress <10% of them.
+	if st.Skipped*10 <= st.Blocks*9 {
+		t.Fatalf("skipped only %d of %d blocks", st.Skipped, st.Blocks)
+	}
+	if st.Decompressed*10 >= st.Blocks {
+		t.Fatalf("decompressed %d of %d blocks — skip-scan ineffective", st.Decompressed, st.Blocks)
+	}
+
+	// Telemetry mirrors the stats.
+	snap := tm.Snapshot()
+	if c := snap.Counters["eventstore.blocks.skipped"]; c != uint64(st.Skipped) {
+		t.Fatalf("blocks.skipped counter %d != stats %d", c, st.Skipped)
+	}
+	if c := snap.Counters["eventstore.blocks.read"]; c != uint64(st.Decompressed) {
+		t.Fatalf("blocks.read counter %d != stats %d", c, st.Decompressed)
+	}
+	if c := snap.Counters["eventstore.bytes.decompressed"]; c != uint64(st.BytesDecompressed) {
+		t.Fatalf("bytes.decompressed counter %d != stats %d", c, st.BytesDecompressed)
+	}
+	if c := snap.Counters["eventstore.queries"]; c != 1 {
+		t.Fatalf("queries counter %d != 1", c)
+	}
+	if h, ok := snap.Histograms["eventstore.query.seconds"]; !ok || h.Count != 1 {
+		t.Fatalf("query latency histogram missing or empty: %+v", h)
+	}
+}
+
+func TestSkipScanCountUsesIndexOnly(t *testing.T) {
+	dir := t.TempDir()
+	buildSkipCorpus(t, dir)
+	r, _, err := OpenReader(dir, ReaderOptions{})
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+
+	// An unbounded count never touches block bodies: every block is either
+	// skipped (bloom+index) or answered from its footer index.
+	n, st, err := r.Count(Query{TemplateIDs: []int32{7}})
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	if n != 400 {
+		t.Fatalf("Count = %d, want 400", n)
+	}
+	if st.Decompressed != 0 {
+		t.Fatalf("unbounded count decompressed %d blocks", st.Decompressed)
+	}
+	if st.IndexOnly == 0 {
+		t.Fatal("no blocks answered from the index")
+	}
+
+	// TemplateCounts over everything reproduces the generator exactly.
+	counts, st2, err := r.TemplateCounts(Query{})
+	if err != nil {
+		t.Fatalf("TemplateCounts: %v", err)
+	}
+	if st2.Decompressed != 0 {
+		t.Fatalf("unbounded template counts decompressed %d blocks", st2.Decompressed)
+	}
+	if len(counts) != 50 {
+		t.Fatalf("got %d templates, want 50", len(counts))
+	}
+	for id, c := range counts {
+		if c != 400 {
+			t.Fatalf("template %d count %d, want 400", id, c)
+		}
+	}
+
+	// A time-bounded count that cuts through blocks decompresses only the
+	// boundary blocks and still counts exactly.
+	q := Query{
+		TemplateIDs: []int32{7},
+		From:        time.Unix(0, int64(2900)*int64(time.Millisecond)),
+		To:          time.Unix(0, int64(3100)*int64(time.Millisecond)),
+	}
+	n, st3, err := r.Count(q)
+	if err != nil {
+		t.Fatalf("bounded Count: %v", err)
+	}
+	if n != 201 {
+		t.Fatalf("bounded Count = %d, want 201", n)
+	}
+	if st3.Decompressed+st3.IndexOnly+st3.Skipped != st3.Blocks {
+		t.Fatalf("block accounting does not add up: %+v", st3)
+	}
+}
+
+func TestScanLimit(t *testing.T) {
+	dir := t.TempDir()
+	buildSkipCorpus(t, dir)
+	r, _, err := OpenReader(dir, ReaderOptions{})
+	if err != nil {
+		t.Fatalf("OpenReader: %v", err)
+	}
+	var got int
+	st, err := r.Scan(Query{TemplateIDs: []int32{3}, Limit: 10}, func(Event) error {
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if got != 10 || st.Selected != 10 {
+		t.Fatalf("limit ignored: yielded %d, selected %d", got, st.Selected)
+	}
+}

@@ -1,0 +1,639 @@
+package eventstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"logparse/internal/telemetry"
+)
+
+// BlockFile is the writable handle a segment runs on — *os.File in
+// production, a fault-injection wrapper (faultinject.WALCrashFile) in
+// crash tests.
+type BlockFile interface {
+	io.Writer
+	Sync() error
+}
+
+// Options configures a Store. Dir is required; zero values elsewhere mean
+// the documented defaults.
+type Options struct {
+	// Dir is the directory holding the segment files.
+	Dir string
+	// BlockBytes is the raw (uncompressed) body size at which an
+	// accumulating block is automatically sealed and written (default
+	// 256 KiB). Auto-sealed blocks reach the OS without an fsync; only
+	// Finalize — the checkpoint-coordination point — syncs, which is safe
+	// because a block lost with the page cache sits wholly above the last
+	// checkpoint and replay re-emits it.
+	BlockBytes int
+	// SegmentBytes is the segment rotation threshold (default 64 MiB):
+	// after a block write leaves the active segment at or beyond it, the
+	// segment is sealed (synced + closed) and the next block starts a
+	// fresh file.
+	SegmentBytes int64
+	// WrapFile, when non-nil, wraps each segment's file handle — the
+	// fault-injection seam for torn-block-write and failed-fsync testing.
+	WrapFile func(*os.File) BlockFile
+	// Hook, when non-nil, fires at crash points: "block" between a sealed
+	// block's write and the in-memory commit of its metadata, and
+	// "finalize" between Finalize's block write and its fsync. A non-nil
+	// return latches the store failed at exactly that point — how the
+	// recovery tests freeze the states a kill -9 can produce. The hook
+	// runs under the store lock and must not call back in.
+	Hook func(point string) error
+	// Telemetry, when non-nil, publishes eventstore.* metrics.
+	Telemetry *telemetry.Handle
+}
+
+// OpenInfo reports what Open found and repaired.
+type OpenInfo struct {
+	// Segments, Blocks and Events count the surviving files, finalized
+	// blocks and their events.
+	Segments int
+	Blocks   int
+	Events   int64
+	// LastSeq is the newest finalized event's sequence number (0 when
+	// the store is empty).
+	LastSeq int64
+	// TornTails counts files whose partially-written final block was
+	// truncated away — the expected signature of a crash mid-write.
+	TornTails int
+	// TornBytes is the total byte count those truncations removed.
+	TornBytes int64
+	// CorruptDropped counts files truncated or deleted because of body
+	// corruption (checksum mismatch, broken header) rather than a torn
+	// tail.
+	CorruptDropped int
+}
+
+// AlignInfo reports what AlignTo dropped.
+type AlignInfo struct {
+	// BlocksDropped and EventsDropped count the finalized blocks (and
+	// their events) above the alignment point that were truncated away —
+	// replay from the checkpoint re-emits all of them.
+	BlocksDropped int
+	EventsDropped int64
+	// SegmentsRemoved counts segment files deleted whole.
+	SegmentsRemoved int
+	// Spanning counts dropped blocks that also held events at or below
+	// the alignment point. Under the engine's finalize-before-checkpoint
+	// discipline this is always zero; a non-zero value means the store
+	// and checkpoint were produced by different regimes and those events
+	// are lost to queries until re-ingested.
+	Spanning int
+}
+
+// ErrClosed is returned by operations on a closed Store.
+var ErrClosed = errors.New("eventstore: closed")
+
+// segState is one segment file and the finalized blocks inside it.
+type segState struct {
+	path   string
+	size   int64
+	blocks []blockMeta
+}
+
+// activeFile is the segment currently open for append.
+type activeFile struct {
+	f   *os.File
+	bf  BlockFile
+	seg *segState
+}
+
+type storeTelemetry struct {
+	appends       *telemetry.Counter
+	blocksWritten *telemetry.Counter
+	bytesRaw      *telemetry.Counter
+	bytesComp     *telemetry.Counter
+	tornTails     *telemetry.Counter
+	corrupt       *telemetry.Counter
+	alignDropped  *telemetry.Counter
+	segments      *telemetry.Gauge
+}
+
+func newStoreTelemetry(h *telemetry.Handle) storeTelemetry {
+	return storeTelemetry{
+		appends:       h.Counter("eventstore.appends"),
+		blocksWritten: h.Counter("eventstore.blocks.written"),
+		bytesRaw:      h.Counter("eventstore.bytes.raw"),
+		bytesComp:     h.Counter("eventstore.bytes.compressed"),
+		tornTails:     h.Counter("eventstore.torn_tails"),
+		corrupt:       h.Counter("eventstore.corrupt_dropped"),
+		alignDropped:  h.Counter("eventstore.align.blocks_dropped"),
+		segments:      h.Gauge("eventstore.segments"),
+	}
+}
+
+// Store is the append-only writer over one directory of segment files.
+// Append accumulates events into the current block (auto-sealing at
+// BlockBytes), Finalize seals and fsyncs everything pending — the
+// checkpoint barrier — and AlignTo drops finalized blocks beyond a
+// restored checkpoint offset so replay never duplicates events. Safe for
+// concurrent use; the engine serializes appends behind its own lock.
+type Store struct {
+	opts Options
+	tm   storeTelemetry
+
+	mu       sync.Mutex
+	segs     []*segState
+	active   *activeFile
+	bb       blockBuilder
+	wbuf     []byte // seal's reusable output buffer
+	lastSeq  int64  // newest finalized event seq
+	events   int64  // finalized events total
+	unsynced bool   // finalized blocks written but not yet fsynced
+	err      error  // latched first failure
+	closed   bool
+}
+
+// StoreStats is a point-in-time writer snapshot.
+type StoreStats struct {
+	Segments int
+	Blocks   int
+	Events   int64
+	LastSeq  int64
+	// Pending counts events accumulated in the current block, not yet
+	// sealed by Finalize or the BlockBytes auto-seal.
+	Pending int
+}
+
+// Open scans dir, repairs crash damage (truncating a torn tail, discarding
+// corrupt bytes and everything after them — the WAL's recovery taxonomy),
+// and returns a Store positioned to append after the newest surviving
+// finalized block.
+func Open(opts Options) (*Store, OpenInfo, error) {
+	if opts.Dir == "" {
+		return nil, OpenInfo{}, errors.New("eventstore: Options.Dir is required")
+	}
+	if opts.BlockBytes <= 0 {
+		opts.BlockBytes = 256 << 10
+	}
+	if opts.BlockBytes > MaxBlockBytes {
+		opts.BlockBytes = MaxBlockBytes
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 64 << 20
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, OpenInfo{}, fmt.Errorf("eventstore: dir: %w", err)
+	}
+	s := &Store{opts: opts, tm: newStoreTelemetry(opts.Telemetry)}
+	s.bb.reset()
+	info, err := s.recover()
+	if err != nil {
+		return nil, info, err
+	}
+	s.tm.segments.Set(int64(len(s.segs)))
+	return s, info, nil
+}
+
+// recover scans the segment files in seq order, truncates crash damage,
+// and rebuilds the in-memory block index.
+func (s *Store) recover() (OpenInfo, error) {
+	var info OpenInfo
+	names, err := filepath.Glob(filepath.Join(s.opts.Dir, "evt-*.seg"))
+	if err != nil {
+		return info, fmt.Errorf("eventstore: scan dir: %w", err)
+	}
+	sort.Strings(names) // zero-padded firstSeq names sort numerically
+
+	// dropFrom deletes every file from index i on — bytes beyond a
+	// corruption point cannot be trusted to be ordered or complete.
+	dropFrom := func(i int) error {
+		for _, path := range names[i:] {
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("eventstore: drop untrusted segment: %w", err)
+			}
+			info.CorruptDropped++
+			s.tm.corrupt.Inc()
+		}
+		return nil
+	}
+
+	prevLast := int64(-1)
+	for i, path := range names {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return info, fmt.Errorf("eventstore: read segment: %w", err)
+		}
+		seg := &segState{path: path}
+		meta, derr := scanSegmentMeta(data, false, func(m blockMeta, _ []IndexEntry) error {
+			seg.blocks = append(seg.blocks, m)
+			return nil
+		})
+		seg.size = meta.Good
+		corrupt := false
+		switch derr.(type) {
+		case nil:
+		case *TornTailError:
+			// Expected after a crash mid-block: cut the partial block,
+			// keep the finalized prefix.
+			if err := os.Truncate(path, meta.Good); err != nil {
+				return info, fmt.Errorf("eventstore: truncate torn tail: %w", err)
+			}
+			info.TornTails++
+			info.TornBytes += int64(len(data)) - meta.Good
+			s.tm.tornTails.Inc()
+			if i != len(names)-1 {
+				// A torn tail anywhere but the final segment means writes
+				// continued into later files past damage — untrusted.
+				corrupt = true
+			}
+		case *CorruptError:
+			if err := os.Truncate(path, meta.Good); err != nil {
+				return info, fmt.Errorf("eventstore: truncate corrupt segment: %w", err)
+			}
+			info.CorruptDropped++
+			s.tm.corrupt.Inc()
+			corrupt = true
+		default:
+			return info, derr
+		}
+		if !corrupt && meta.Blocks > 0 && meta.FirstSeq < prevLast {
+			// Overlapping seq ranges across files: ordering is untrusted
+			// from here on.
+			corrupt = true
+			info.CorruptDropped++
+			s.tm.corrupt.Inc()
+			if err := os.Remove(path); err != nil {
+				return info, fmt.Errorf("eventstore: drop untrusted segment: %w", err)
+			}
+			seg.blocks = nil
+			seg.path = ""
+		}
+		if corrupt {
+			if len(seg.blocks) == 0 && seg.path != "" {
+				_ = os.Remove(path)
+				seg.path = ""
+			}
+			if len(seg.blocks) > 0 {
+				s.segs = append(s.segs, seg)
+				info.Blocks += len(seg.blocks)
+				info.Events += int64(meta.Events)
+				prevLast = meta.LastSeq
+			}
+			if err := dropFrom(i + 1); err != nil {
+				return info, err
+			}
+			break
+		}
+		if len(seg.blocks) == 0 {
+			// Header-only file (crash between creating a segment and its
+			// first finalized block): recreate lazily on the next seal.
+			if err := os.Remove(path); err != nil {
+				return info, fmt.Errorf("eventstore: drop empty segment: %w", err)
+			}
+			continue
+		}
+		s.segs = append(s.segs, seg)
+		info.Blocks += len(seg.blocks)
+		info.Events += int64(meta.Events)
+		prevLast = meta.LastSeq
+	}
+	if n := len(s.segs); n > 0 {
+		last := s.segs[n-1]
+		s.lastSeq = last.blocks[len(last.blocks)-1].maxSeq
+		info.LastSeq = s.lastSeq
+	}
+	s.events = info.Events
+	info.Segments = len(s.segs)
+	// The last segment is reopened lazily: reopenTailLocked runs on the
+	// first seal so AlignTo can truncate files without fighting an open
+	// append handle.
+	return info, nil
+}
+
+// reopenTailLocked ensures an active append handle: the newest segment
+// when it still has room, else nothing (the next seal starts a fresh
+// file).
+func (s *Store) reopenTailLocked() error {
+	if s.active != nil {
+		return nil
+	}
+	n := len(s.segs)
+	if n == 0 {
+		return nil
+	}
+	last := s.segs[n-1]
+	if last.size >= s.opts.SegmentBytes {
+		return nil
+	}
+	f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("eventstore: reopen segment: %w", err)
+	}
+	s.installActive(f, last)
+	return nil
+}
+
+// installActive wires a file handle (through the fault seam) as the
+// active segment.
+func (s *Store) installActive(f *os.File, seg *segState) {
+	var bf BlockFile = f
+	if s.opts.WrapFile != nil {
+		bf = s.opts.WrapFile(f)
+	}
+	s.active = &activeFile{f: f, bf: bf, seg: seg}
+}
+
+// fail latches the first error: after a failed write or sync the file
+// position is unknowable, so every later operation refuses until the
+// store is reopened (which re-verifies the on-disk state).
+func (s *Store) fail(err error) error {
+	if s.err == nil {
+		s.err = err
+	}
+	return err
+}
+
+// Append accumulates one event into the current block, sealing and
+// writing the block once it reaches BlockBytes of raw event data.
+// Sequence numbers must be non-decreasing. Durability comes only from the
+// next Finalize.
+func (s *Store) Append(ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.err != nil {
+		return s.err
+	}
+	floor := s.lastSeq
+	if s.bb.count > 0 {
+		floor = s.bb.maxSeq
+	}
+	if ev.Seq < floor {
+		return s.fail(fmt.Errorf("eventstore: append seq %d below %d", ev.Seq, floor))
+	}
+	if ev.Template < -1 {
+		return s.fail(fmt.Errorf("eventstore: append template %d below -1", ev.Template))
+	}
+	s.bb.add(ev)
+	s.tm.appends.Inc()
+	if len(s.bb.raw) >= s.opts.BlockBytes {
+		if err := s.sealLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sealLocked compresses the accumulating block and writes it to the
+// active segment (creating one as needed). No fsync: durability waits for
+// Finalize. Latches on failure.
+func (s *Store) sealLocked() error {
+	if s.bb.count == 0 {
+		return nil
+	}
+	s.wbuf = s.wbuf[:0]
+	out, meta, err := s.bb.seal(s.wbuf)
+	if err != nil {
+		return s.fail(fmt.Errorf("eventstore: seal block: %w", err))
+	}
+	s.wbuf = out
+	if s.active == nil {
+		if err := s.reopenTailLocked(); err != nil {
+			return s.fail(err)
+		}
+	}
+	if s.active == nil {
+		if err := s.startSegmentLocked(s.bb.minSeq); err != nil {
+			return s.fail(err)
+		}
+	}
+	if _, err := s.active.bf.Write(out); err != nil {
+		return s.fail(fmt.Errorf("eventstore: write block: %w", err))
+	}
+	if s.opts.Hook != nil {
+		// The mid-block crash point: the block's bytes reached the file
+		// (or its wrapper), nothing is committed in memory yet.
+		if err := s.opts.Hook("block"); err != nil {
+			return s.fail(err)
+		}
+	}
+	meta.off = s.active.seg.size
+	s.active.seg.size += meta.size
+	s.active.seg.blocks = append(s.active.seg.blocks, meta)
+	s.lastSeq = meta.maxSeq
+	s.events += int64(meta.count)
+	s.unsynced = true
+	s.tm.blocksWritten.Inc()
+	s.tm.bytesRaw.Add(uint64(meta.rawLen))
+	s.tm.bytesComp.Add(uint64(meta.size))
+	s.bb.reset()
+	if s.active.seg.size >= s.opts.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return s.fail(err)
+		}
+	}
+	return nil
+}
+
+// startSegmentLocked creates a fresh segment whose first block starts at
+// seq.
+func (s *Store) startSegmentLocked(seq int64) error {
+	path := filepath.Join(s.opts.Dir, fmt.Sprintf("evt-%020d.seg", seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("eventstore: create segment: %w", err)
+	}
+	seg := &segState{path: path, size: int64(segHeaderSize)}
+	s.segs = append(s.segs, seg)
+	s.installActive(f, seg)
+	if _, err := s.active.bf.Write(SegmentHeader(seq)); err != nil {
+		return fmt.Errorf("eventstore: segment header: %w", err)
+	}
+	s.tm.segments.Set(int64(len(s.segs)))
+	return nil
+}
+
+// rotateLocked seals the active segment file: sync (its tail blocks may
+// be unsynced), close, and let the next seal start a successor.
+func (s *Store) rotateLocked() error {
+	if s.unsynced {
+		if err := s.active.bf.Sync(); err != nil {
+			return fmt.Errorf("eventstore: sync on rotate: %w", err)
+		}
+		s.unsynced = false
+	}
+	if err := s.active.f.Close(); err != nil {
+		return fmt.Errorf("eventstore: seal segment: %w", err)
+	}
+	s.active = nil
+	return nil
+}
+
+// Finalize seals the pending block (if any) and fsyncs every block
+// written since the last Finalize — the checkpoint barrier: the engine
+// calls it immediately before saving a checkpoint, so a successful
+// checkpoint never covers events the store could still lose, and no block
+// spans a checkpoint boundary (which is what lets AlignTo drop whole
+// blocks on restart).
+func (s *Store) Finalize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.sealLocked(); err != nil {
+		return err
+	}
+	if !s.unsynced {
+		// Nothing written since the last sync (rotation syncs as it
+		// seals, so unsynced blocks always live in the active file).
+		return nil
+	}
+	if s.opts.Hook != nil {
+		// The mid-finalize crash point: blocks written, fsync not yet
+		// issued.
+		if err := s.opts.Hook("finalize"); err != nil {
+			return s.fail(err)
+		}
+	}
+	if err := s.active.bf.Sync(); err != nil {
+		return s.fail(fmt.Errorf("eventstore: finalize sync: %w", err))
+	}
+	s.unsynced = false
+	return nil
+}
+
+// AlignTo drops every finalized block holding events above seq — the
+// restart handshake with the checkpoint: blocks beyond the restored
+// offset describe lines the resumed engine will process (and re-emit)
+// again, so they are truncated away rather than duplicated. Must be
+// called before any Append.
+func (s *Store) AlignTo(seq int64) (AlignInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var info AlignInfo
+	if s.closed {
+		return info, ErrClosed
+	}
+	if s.err != nil {
+		return info, s.err
+	}
+	if s.bb.count > 0 {
+		return info, s.fail(errors.New("eventstore: AlignTo with unsealed events pending"))
+	}
+	if s.lastSeq <= seq {
+		return info, nil
+	}
+	if s.active != nil {
+		// Release the append handle before truncating files under it.
+		if err := s.rotateLocked(); err != nil {
+			return info, s.fail(err)
+		}
+	}
+	for len(s.segs) > 0 {
+		seg := s.segs[len(s.segs)-1]
+		cut := len(seg.blocks)
+		for cut > 0 && seg.blocks[cut-1].maxSeq > seq {
+			b := seg.blocks[cut-1]
+			info.BlocksDropped++
+			info.EventsDropped += int64(b.count)
+			if b.minSeq <= seq {
+				info.Spanning++
+			}
+			cut--
+		}
+		if cut == len(seg.blocks) {
+			break
+		}
+		s.tm.alignDropped.Add(uint64(len(seg.blocks) - cut))
+		if cut == 0 {
+			if err := os.Remove(seg.path); err != nil {
+				return info, s.fail(fmt.Errorf("eventstore: align remove: %w", err))
+			}
+			info.SegmentsRemoved++
+			s.segs = s.segs[:len(s.segs)-1]
+			continue
+		}
+		end := seg.blocks[cut-1].off + seg.blocks[cut-1].size
+		if err := os.Truncate(seg.path, end); err != nil {
+			return info, s.fail(fmt.Errorf("eventstore: align truncate: %w", err))
+		}
+		seg.blocks = seg.blocks[:cut]
+		seg.size = end
+		break
+	}
+	s.lastSeq = 0
+	s.events = 0
+	for _, seg := range s.segs {
+		for _, b := range seg.blocks {
+			s.events += int64(b.count)
+		}
+		s.lastSeq = seg.blocks[len(seg.blocks)-1].maxSeq
+	}
+	s.tm.segments.Set(int64(len(s.segs)))
+	return info, nil
+}
+
+// LastSeq returns the newest finalized event's sequence number, 0 when
+// the store holds none.
+func (s *Store) LastSeq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// Err returns the latched failure, nil while healthy.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats snapshots the writer.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		Segments: len(s.segs),
+		Events:   s.events,
+		LastSeq:  s.lastSeq,
+		Pending:  int(s.bb.count),
+	}
+	for _, seg := range s.segs {
+		st.Blocks += len(seg.blocks)
+	}
+	return st
+}
+
+// Close seals and syncs pending events and releases the file handle.
+// Further operations return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var err error
+	if s.err == nil && s.bb.count > 0 {
+		err = s.sealLocked()
+	}
+	if s.err == nil && s.unsynced && s.active != nil {
+		if serr := s.active.bf.Sync(); serr != nil {
+			err = s.fail(fmt.Errorf("eventstore: close sync: %w", serr))
+		} else {
+			s.unsynced = false
+		}
+	}
+	s.closed = true
+	if s.active != nil {
+		if cerr := s.active.f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("eventstore: close: %w", cerr)
+		}
+		s.active = nil
+	}
+	return err
+}

@@ -21,6 +21,11 @@ import (
 //	                                unsplittable batch, 429 quota
 //	                                (Retry-After), 503 draining/restarting
 //	                                (Retry-After)
+//	GET  /v1/query?tenant=ID        read-only skip-scan query over the
+//	                                tenant's event store (mode=count|top|
+//	                                list, template=, from=, to=, limit=,
+//	                                n=, unmatched=); 404 when disabled or
+//	                                no events recorded — see handleQuery
 //	GET  /v1/tenants                live tenants with shard and offset
 //	GET  /v1/tenants/{id}/stats     one tenant's full snapshot + digest
 //	GET  /v1/stats                  the fleet snapshot
@@ -34,6 +39,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	mux.HandleFunc("GET /v1/tenants/{id}/stats", s.handleTenantStats)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -113,7 +119,14 @@ func writeIngestErr(w http.ResponseWriter, err error) {
 	var qe *QuotaError
 	var tie *TenantIDError
 	var we *stream.WALError
+	var ese *stream.EventStoreError
 	switch {
+	case errors.As(err, &ese):
+		// The tenant's event store failed mid-batch: the engine refused to
+		// checkpoint over the gap and the supervisor is rebuilding it
+		// (reopening the store repairs and realigns it). The batch was not
+		// acknowledged; the client replays it.
+		writeErr(w, http.StatusServiceUnavailable, 1, ese.Error()+"; replay the batch")
 	case errors.As(err, &we):
 		// The tenant's write-ahead log failed mid-batch: nothing in this
 		// batch was acknowledged, and the supervisor is rebuilding the

@@ -82,6 +82,16 @@ type Config struct {
 	// kill -9, without waiting on client replay. The durability knobs
 	// (Stream.WALSync, Stream.WALSegmentBytes) come from the template.
 	WAL bool
+	// EventsRoot, when non-empty, enables the per-tenant parsed-event
+	// store: tenant T's per-line parse decisions are recorded under
+	// <EventsRoot>/tenants/<T> as compressed, checksummed blocks, kept in
+	// exact count parity with the tenant's checkpoints, and served
+	// read-only through GET /v1/query and the logquery CLI.
+	EventsRoot string
+	// EventBlockBytes overrides the event store's target block size for
+	// every tenant (0 = the Stream template's value, or the eventstore
+	// default).
+	EventBlockBytes int
 	// NewRetrainer builds a tenant's retrainer (nil = the stream default,
 	// or Stream.Retrainer shared across tenants if set). Per-tenant
 	// retrainers keep one tenant's poisoned retrain input out of its
@@ -208,6 +218,11 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.CheckpointRoot, "tenants"), 0o755); err != nil {
 		return nil, fmt.Errorf("server: checkpoint root: %w", err)
 	}
+	if cfg.EventsRoot != "" {
+		if err := os.MkdirAll(filepath.Join(cfg.EventsRoot, "tenants"), 0o755); err != nil {
+			return nil, fmt.Errorf("server: events root: %w", err)
+		}
+	}
 	ctx, kill := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:  cfg,
@@ -333,6 +348,15 @@ func (s *Server) tenantDir(id string) string {
 	return filepath.Join(s.cfg.CheckpointRoot, "tenants", id)
 }
 
+// eventsDir is tenant id's event-store directory ("" when the store is
+// disabled fleet-wide).
+func (s *Server) eventsDir(id string) string {
+	if s.cfg.EventsRoot == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.EventsRoot, "tenants", id)
+}
+
 // createTenant builds a tenant's engine (restoring its checkpoint, or
 // quarantining corrupt generations into an empty start) and launches its
 // supervised serve loop on the tenant's shard.
@@ -350,6 +374,13 @@ func (s *Server) createTenant(sh *shard, id string) (*tenant, error) {
 	cfg.WALDir = "" // never share one WAL across tenants
 	if s.cfg.WAL {
 		cfg.WALDir = filepath.Join(s.tenantDir(id), "wal")
+	}
+	cfg.EventStoreDir = "" // never share one event store across tenants
+	if s.cfg.EventsRoot != "" {
+		cfg.EventStoreDir = s.eventsDir(id)
+		if s.cfg.EventBlockBytes > 0 {
+			cfg.EventStoreBlockBytes = s.cfg.EventBlockBytes
+		}
 	}
 	if cfg.Now == nil {
 		cfg.Now = s.now

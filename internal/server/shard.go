@@ -31,6 +31,7 @@ func (sh *shard) stats() ShardStats {
 		st.Panics += t.panics
 		st.Restarts += t.restarts
 		st.WALFailures += t.walFailures
+		st.EventStoreFailures += t.storeFailures
 		t.mu.Unlock()
 	}
 	return st
@@ -50,6 +51,7 @@ type tenant struct {
 	panics        int64
 	restarts      int64
 	walFailures   int64
+	storeFailures int64
 	quotaRejected int64
 	stopping      bool
 
@@ -61,6 +63,11 @@ type tenant struct {
 // WAL that keeps failing after rebuilds (disk full, dead device) is not
 // going to heal by reopening, and each restart re-runs a full replay.
 const maxWALRestarts = 8
+
+// maxStoreRestarts is the same lifetime cap for event-store failures: a
+// block store that keeps failing after repair-and-realign rebuilds will
+// not heal by reopening, and each restart re-runs a full replay.
+const maxStoreRestarts = 8
 
 // supervise runs the tenant's serve loop, absorbing panics and
 // write-ahead-log failures by rebuilding the engine from its newest
@@ -78,6 +85,7 @@ func (t *tenant) supervise(ctx context.Context) {
 		pv, err := t.serveOnce(ctx, eng)
 		var cause string
 		var walErr *stream.WALError
+		var esErr *stream.EventStoreError
 		switch {
 		case pv != nil:
 			// A panic unwound the consumer: everything in that
@@ -104,6 +112,23 @@ func (t *tenant) supervise(ctx context.Context) {
 				return
 			}
 			cause = "wal failure"
+		case errors.As(err, &esErr):
+			// The event store failed mid-write: the engine refused to
+			// checkpoint over the gap, so a rebuild reopens the store
+			// (repairing any torn block), realigns it to the restored
+			// checkpoint, and replay re-emits exactly the dropped events.
+			t.srv.tm.storeFailures.Inc()
+			t.mu.Lock()
+			t.storeFailures++
+			n := t.storeFailures
+			t.mu.Unlock()
+			if n > maxStoreRestarts {
+				t.mu.Lock()
+				t.err = fmt.Errorf("event store failed %d times; tenant is terminal: %w", n, esErr)
+				t.mu.Unlock()
+				return
+			}
+			cause = "event store failure"
 		default:
 			if err != nil && !errors.Is(err, context.Canceled) {
 				t.mu.Lock()
@@ -184,12 +209,13 @@ func (t *tenant) stats() TenantStats {
 	t.mu.Lock()
 	eng := t.eng
 	st := TenantStats{
-		Tenant:        t.id,
-		Shard:         t.shardID,
-		Panics:        t.panics,
-		Restarts:      t.restarts,
-		WALFailures:   t.walFailures,
-		QuotaRejected: t.quotaRejected,
+		Tenant:             t.id,
+		Shard:              t.shardID,
+		Panics:             t.panics,
+		Restarts:           t.restarts,
+		WALFailures:        t.walFailures,
+		EventStoreFailures: t.storeFailures,
+		QuotaRejected:      t.quotaRejected,
 	}
 	if t.err != nil {
 		st.Error = t.err.Error()
@@ -211,12 +237,14 @@ type TenantStats struct {
 	// quantity the kill-and-recover equivalence compares.
 	Digest string `json:"digest"`
 	// Panics and Restarts count consumer panics absorbed and engine
-	// incarnations rebuilt from checkpoints; WALFailures counts the
-	// restarts caused by a write-ahead-log failure (capped at
-	// maxWALRestarts before the tenant goes terminal).
-	Panics      int64 `json:"panics"`
-	Restarts    int64 `json:"restarts"`
-	WALFailures int64 `json:"wal_failures"`
+	// incarnations rebuilt from checkpoints; WALFailures and
+	// EventStoreFailures count the restarts caused by write-ahead-log and
+	// event-store failures (each capped at its lifetime maximum before
+	// the tenant goes terminal).
+	Panics             int64 `json:"panics"`
+	Restarts           int64 `json:"restarts"`
+	WALFailures        int64 `json:"wal_failures"`
+	EventStoreFailures int64 `json:"eventstore_failures"`
 	// QuotaRejected counts lines refused by the admission quota.
 	QuotaRejected int64 `json:"quota_rejected"`
 	// Error is the tenant's terminal serve error, empty while healthy.
@@ -225,11 +253,12 @@ type TenantStats struct {
 
 // ShardStats aggregates one shard.
 type ShardStats struct {
-	Shard       int   `json:"shard"`
-	Tenants     int   `json:"tenants"`
-	Panics      int64 `json:"panics"`
-	Restarts    int64 `json:"restarts"`
-	WALFailures int64 `json:"wal_failures"`
+	Shard              int   `json:"shard"`
+	Tenants            int   `json:"tenants"`
+	Panics             int64 `json:"panics"`
+	Restarts           int64 `json:"restarts"`
+	WALFailures        int64 `json:"wal_failures"`
+	EventStoreFailures int64 `json:"eventstore_failures"`
 }
 
 // Stats is the fleet snapshot.

@@ -16,6 +16,7 @@ type serverTelemetry struct {
 	panics        *telemetry.Counter // server.engine.panics — consumer panics absorbed
 	restarts      *telemetry.Counter // server.engine.restarts — engines rebuilt from checkpoints
 	walFailures   *telemetry.Counter // server.engine.wal_failures — restarts caused by WAL failures
+	storeFailures *telemetry.Counter // server.engine.eventstore_failures — restarts caused by event-store failures
 	corruptResets *telemetry.Counter // server.engine.corrupt_resets — tenants started empty over rotted state
 	tenants       *telemetry.Gauge   // server.tenants — live tenant count
 }
@@ -30,6 +31,7 @@ func newServerTelemetry(h *telemetry.Handle) serverTelemetry {
 		panics:        h.Counter("server.engine.panics"),
 		restarts:      h.Counter("server.engine.restarts"),
 		walFailures:   h.Counter("server.engine.wal_failures"),
+		storeFailures: h.Counter("server.engine.eventstore_failures"),
 		corruptResets: h.Counter("server.engine.corrupt_resets"),
 		tenants:       h.Gauge("server.tenants"),
 	}

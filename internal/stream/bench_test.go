@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"io"
+	"os"
 	"sync/atomic"
 	"testing"
 
@@ -136,6 +137,56 @@ func BenchmarkStreamPushBatch(b *testing.B) { benchPushBatch(b, false) }
 // group-commit fsync. The lines/sec gap against the plain run is the price
 // of the zero-loss acknowledgment contract.
 func BenchmarkStreamPushBatchWAL(b *testing.B) { benchPushBatch(b, true) }
+
+// BenchmarkStreamIngestEventStore is BenchmarkStreamIngest's recording-on
+// twin at the default cadence: every processed line additionally appends
+// one delta-encoded event to the block store, and each periodic checkpoint
+// pays the store's group finalize (seal + one fsync). The lines/sec gap
+// against the plain run bounds the cost of keeping a queryable event
+// history; evt-B/op is the compressed bytes the history costs per run.
+func BenchmarkStreamIngestEventStore(b *testing.B) {
+	const n = 20000
+	lines := synthLines(n, 99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var evtBytes int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		e, err := New(Config{
+			Open:            memOpen(lines),
+			CheckpointDir:   b.TempDir(),
+			RingCapacity:    1024,
+			CheckpointEvery: 5000,
+			RetrainBatch:    64,
+			Retrainer:       &groupMiner{},
+			EventStoreDir:   dir,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := e.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ent := range ents {
+			if fi, err := ent.Info(); err == nil {
+				evtBytes += fi.Size()
+			}
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(n*b.N)/elapsed, "lines/sec")
+	}
+	b.ReportMetric(float64(evtBytes)/float64(b.N), "evt-B/op")
+}
 
 // BenchmarkStreamIngestTelemetry is BenchmarkStreamIngest's telemetry-on
 // twin at the default cadence; comparing lines/sec against the plain run

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"logparse/internal/core"
+	"logparse/internal/eventstore"
 	"logparse/internal/match"
 	"logparse/internal/parsers/slct"
 	"logparse/internal/robust"
@@ -64,6 +65,16 @@ type Engine struct {
 	// immutable after New; the WAL itself is internally locked.
 	wal     *wal.WAL
 	walInfo wal.OpenInfo
+
+	// events is the parsed-event store (nil when Config.EventStoreDir is
+	// empty); eventsInfo/eventsAlign record what opening and aligning it
+	// found. events is immutable after New; its mutable state lives under
+	// e.mu with the rest of the engine.
+	events         *eventstore.Store
+	eventsInfo     eventstore.OpenInfo
+	eventsAlign    eventstore.AlignInfo
+	eventsAppended int64 // events appended this process
+	eventsErr      error // the store failure that ended the incarnation
 
 	// Push-mode admission state (Serve/Push). pushMu is separate from mu
 	// because pushWait can block while the consumer needs mu to process.
@@ -187,6 +198,29 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.breaker = newBreaker(cfg.Breaker, 0, false, e.now())
 	}
+	if cfg.EventStoreDir != "" {
+		es, esInfo, err := eventstore.Open(eventstore.Options{
+			Dir:          cfg.EventStoreDir,
+			BlockBytes:   cfg.EventStoreBlockBytes,
+			SegmentBytes: cfg.EventStoreSegmentBytes,
+			WrapFile:     cfg.EventStoreFile,
+			Hook:         cfg.EventStoreHook,
+			Telemetry:    cfg.Telemetry,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stream: open event store: %w", err)
+		}
+		// The restart handshake: blocks beyond the restored checkpoint
+		// offset describe lines the resumed engine will process (and
+		// re-emit) again, so they are dropped now rather than duplicated.
+		ai, aerr := es.AlignTo(e.offset)
+		if aerr != nil {
+			es.Close()
+			return nil, fmt.Errorf("stream: align event store: %w", aerr)
+		}
+		e.events, e.eventsInfo, e.eventsAlign = es, esInfo, ai
+	}
+
 	e.noteBreakerLocked(e.breaker.state) // publish restored state, no transition
 	e.tm.templates.Set(int64(len(e.templates)))
 	e.tm.unmatchedBuffered.Set(int64(len(e.unmatched)))
@@ -492,9 +526,11 @@ func (e *Engine) process(ctx context.Context, it item) (ckptDue bool) {
 			e.counts[idx]++
 			e.ctrs.Matched++
 			e.tm.matched.Inc()
+			e.recordEventLocked(it.lineNo, int32(idx), eventstore.KindMatched)
 			return ckptDue
 		}
 	}
+	e.recordEventLocked(it.lineNo, -1, eventstore.KindUnmatched)
 	e.unmatched = append(e.unmatched, string(content))
 	if len(e.unmatched) >= e.cfg.RetrainBatch {
 		e.retrainLocked(ctx)
@@ -587,9 +623,14 @@ func (e *Engine) reapplyUnmatchedLocked() {
 			continue
 		}
 		if t, err := e.matcher.Match(core.Tokenize(line)); err == nil {
-			e.counts[e.index[t.String()]]++
+			idx := e.index[t.String()]
+			e.counts[idx]++
 			e.ctrs.Matched++
 			e.tm.matched.Inc()
+			// The buffered line's own number is gone; the current offset
+			// (the line whose processing triggered this retrain) keeps
+			// event seqs non-decreasing and inside checkpoint coverage.
+			e.recordEventLocked(e.offset, int32(idx), eventstore.KindLateMatched)
 		} else {
 			e.ctrs.Unparsed++
 			e.tm.unparsed.Inc()
@@ -615,6 +656,16 @@ func (e *Engine) Checkpoint() error {
 }
 
 func (e *Engine) checkpointLocked() error {
+	// Finalize-before-save: fsync the event blocks first, so a successful
+	// checkpoint never covers events the store could still lose (and no
+	// block ever spans a checkpoint boundary — what lets AlignTo drop
+	// whole blocks on restart). A failed store refuses the checkpoint
+	// entirely: saving one would make the event gap permanent.
+	if err := e.finalizeEventsLocked(); err != nil {
+		e.ckptErrors++
+		e.tm.ckptErrors.Inc()
+		return err
+	}
 	st := &State{
 		Offset:          e.offset,
 		Templates:       make([]SavedTemplate, len(e.templates)),
@@ -724,6 +775,20 @@ func (e *Engine) Stats() Stats {
 		s.WALCorruptDropped = e.walInfo.CorruptDropped
 		if e.walErr != nil {
 			s.WALError = e.walErr.Error()
+		}
+	}
+	if e.events != nil {
+		s.EventStoreEnabled = true
+		s.EventsAppended = e.eventsAppended
+		est := e.events.Stats()
+		s.EventStoreLastSeq = est.LastSeq
+		s.EventStoreSegments = est.Segments
+		s.EventStoreBlocks = est.Blocks
+		s.EventStoreTornTails = e.eventsInfo.TornTails
+		s.EventStoreCorruptDropped = e.eventsInfo.CorruptDropped
+		s.EventStoreBlocksDropped = e.eventsAlign.BlocksDropped
+		if e.eventsErr != nil {
+			s.EventStoreError = e.eventsErr.Error()
 		}
 	}
 	s.LinesIn = s.Processed + s.Shed + int64(s.RingDepth)

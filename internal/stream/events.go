@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"logparse/internal/eventstore"
+)
+
+// EventStoreError reports a parsed-event-store failure that ended the
+// engine's current incarnation. The store runs fail-stop: after a failed
+// block write, seal or fsync the file position is unknowable, so instead
+// of serving with a silent gap in the event history the engine aborts its
+// ring, refuses to checkpoint (a checkpoint would durably cover lines
+// whose events were lost, making the gap permanent), and surfaces this
+// typed error from Run/Serve/Checkpoint. Recovery is a fresh engine over
+// the same directories: eventstore.Open repairs the damage, the store is
+// aligned to the restored checkpoint, and replay re-emits exactly the
+// dropped events. The server's supervisor treats it like a WAL failure:
+// rebuild and resume, with a lifetime cap.
+type EventStoreError struct{ Err error }
+
+func (e *EventStoreError) Error() string { return "stream: event store failed: " + e.Err.Error() }
+
+// Unwrap exposes the underlying store failure to errors.Is/As.
+func (e *EventStoreError) Unwrap() error { return e.Err }
+
+// eventSinkFailLocked latches the first event-store failure and ends the
+// incarnation: the ring aborts, the consumer drains out, and the
+// Run/Serve epilogue (or the next Checkpoint) surfaces the typed error.
+// Called with e.mu held.
+func (e *Engine) eventSinkFailLocked(err error) {
+	if e.eventsErr == nil {
+		e.eventsErr = err
+	}
+	e.tm.storeFailures.Inc()
+	if e.ring != nil {
+		e.ring.abort()
+	}
+}
+
+// recordEventLocked appends one per-line decision to the event store.
+// Called with e.mu held on the process hot path; when the store is off
+// (or already failed) it is a nil check and nothing more.
+func (e *Engine) recordEventLocked(seq int64, tmpl int32, kind eventstore.Kind) {
+	if e.events == nil || e.eventsErr != nil {
+		return
+	}
+	err := e.events.Append(eventstore.Event{
+		Seq:      seq,
+		Time:     e.now().UnixNano(),
+		Template: tmpl,
+		Kind:     kind,
+	})
+	if err != nil {
+		e.eventSinkFailLocked(err)
+		return
+	}
+	e.eventsAppended++
+}
+
+// finalizeEventsLocked is the checkpoint barrier on the store side: seal
+// and fsync everything appended so far. Returns the typed incarnation-
+// ending error when the store has failed (now or earlier) — the caller
+// must NOT save a checkpoint in that case. Called with e.mu held.
+func (e *Engine) finalizeEventsLocked() error {
+	if e.events == nil {
+		return nil
+	}
+	if e.eventsErr == nil {
+		if err := e.events.Finalize(); err != nil {
+			e.eventSinkFailLocked(err)
+		}
+	}
+	if e.eventsErr != nil {
+		return &EventStoreError{Err: e.eventsErr}
+	}
+	return nil
+}

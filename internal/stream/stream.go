@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"logparse/internal/core"
+	"logparse/internal/eventstore"
 	"logparse/internal/stream/wal"
 	"logparse/internal/telemetry"
 )
@@ -181,6 +182,30 @@ type Config struct {
 	// incarnation — how the recovery tests pin each enumerated crash
 	// point. The hook runs under engine locks and must not call back in.
 	WALHook func(point string) error
+	// EventStoreDir, when non-empty, enables the queryable parsed-event
+	// store (internal/eventstore): every per-line match decision —
+	// matched, unmatched, late-matched after a retrain — is appended as
+	// an event, blocks are finalized and fsynced together with each
+	// checkpoint (so no block ever spans a successful-checkpoint
+	// boundary), and on restart the store is aligned back to the restored
+	// offset so replay re-emits exactly the dropped events. A store
+	// failure ends the incarnation with a typed *EventStoreError rather
+	// than serving with a silent gap in the event history. See DESIGN.md
+	// §13 "Event store format & query semantics".
+	EventStoreDir string
+	// EventStoreBlockBytes is the raw block size at which the store seals
+	// a block (default 256 KiB); EventStoreSegmentBytes is its segment
+	// rotation threshold (default 64 MiB).
+	EventStoreBlockBytes   int
+	EventStoreSegmentBytes int64
+	// EventStoreFile, when non-nil, wraps each event-store segment file
+	// handle — the fault-injection seam for torn-block-write and
+	// failed-fsync crash tests (faultinject.WALCrashFile).
+	EventStoreFile func(*os.File) eventstore.BlockFile
+	// EventStoreHook, when non-nil, fires at event-store crash points
+	// ("block", "finalize" — see eventstore.Options.Hook). A non-nil
+	// return freezes the store at that point and ends the incarnation.
+	EventStoreHook func(point string) error
 }
 
 // Stats is a point-in-time health snapshot of an Engine. All counters are
@@ -253,6 +278,26 @@ type Stats struct {
 	// WALError is the rendered write-ahead-log failure that ended the
 	// current serve incarnation, empty while healthy.
 	WALError string
+	// EventStoreEnabled reports whether the parsed-event store is on.
+	EventStoreEnabled bool
+	// EventsAppended counts events this process appended to the store.
+	EventsAppended int64
+	// EventStoreLastSeq is the newest finalized event's sequence number;
+	// EventStoreSegments and EventStoreBlocks are the store's current
+	// file and finalized-block counts.
+	EventStoreLastSeq  int64
+	EventStoreSegments int
+	EventStoreBlocks   int
+	// EventStoreTornTails and EventStoreCorruptDropped report the crash
+	// damage repaired when the store was opened; EventStoreBlocksDropped
+	// counts finalized blocks dropped by the startup alignment to the
+	// restored checkpoint (replay re-emits their events).
+	EventStoreTornTails      int
+	EventStoreCorruptDropped int
+	EventStoreBlocksDropped  int
+	// EventStoreError is the rendered store failure that ended the
+	// current incarnation, empty while healthy.
+	EventStoreError string
 }
 
 // Digest is the canonical digest of an engine's observable outcome: the

@@ -33,6 +33,7 @@ type engineTelemetry struct {
 	transitions      *telemetry.Counter
 	walFailures      *telemetry.Counter
 	walTruncErrors   *telemetry.Counter
+	storeFailures    *telemetry.Counter
 
 	ringDepth         *telemetry.Gauge
 	unmatchedBuffered *telemetry.Gauge
@@ -64,6 +65,7 @@ func newEngineTelemetry(h *telemetry.Handle) engineTelemetry {
 		transitions:      h.Counter("stream.breaker.transitions"),
 		walFailures:      h.Counter("stream.wal.failures"),
 		walTruncErrors:   h.Counter("stream.wal.truncate.errors"),
+		storeFailures:    h.Counter("stream.eventstore.failures"),
 
 		ringDepth:         h.Gauge("stream.ring.depth"),
 		unmatchedBuffered: h.Gauge("stream.unmatched.buffered"),

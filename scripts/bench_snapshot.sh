@@ -3,9 +3,9 @@
 # benchmarks and write a committable JSON snapshot (lines/sec, allocs/op,
 # ckpt-B/op per benchmark) so throughput can be tracked PR over PR.
 #
-#   scripts/bench_snapshot.sh [OUT.json]     default OUT: BENCH_PR8.json
+#   scripts/bench_snapshot.sh [OUT.json]     default OUT: BENCH_PR9.json
 #
-# LABEL sets the label recorded in the document (default pr8-wal).
+# LABEL sets the label recorded in the document (default pr9-eventstore).
 # Benchmarks run three iterations each (-benchtime=3x): one iteration is
 # hostage to scheduler noise on shared runners and still carries one-time
 # warm-up allocations; three average that out while staying cheap enough
@@ -16,8 +16,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR8.json}"
-LABEL="${LABEL:-pr8-wal}"
+OUT="${1:-BENCH_PR9.json}"
+LABEL="${LABEL:-pr9-eventstore}"
 BENCHTIME="${BENCHTIME:-3x}"
 
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
@@ -25,12 +25,16 @@ work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
 
 echo "==> go test -bench 'BenchmarkStream(Ingest|PushBatch)' ./internal/stream (benchtime $BENCHTIME)"
-go test -run '^$' -bench '^BenchmarkStreamIngest$|^BenchmarkStreamIngestTelemetry$|^BenchmarkStreamPushBatch$|^BenchmarkStreamPushBatchWAL$' \
+go test -run '^$' -bench '^BenchmarkStreamIngest$|^BenchmarkStreamIngestTelemetry$|^BenchmarkStreamIngestEventStore$|^BenchmarkStreamPushBatch$|^BenchmarkStreamPushBatchWAL$' \
 	-benchtime "$BENCHTIME" ./internal/stream | tee "$work/bench.txt"
 
 echo "==> go test -bench BenchmarkServerLoopback ./internal/server (benchtime $BENCHTIME)"
 go test -run '^$' -bench '^BenchmarkServerLoopback$|^BenchmarkServerLoopbackWAL$' \
 	-benchtime "$BENCHTIME" ./internal/server | tee -a "$work/bench.txt"
+
+echo "==> go test -bench BenchmarkEventStoreQuery ./internal/eventstore (benchtime $BENCHTIME)"
+go test -run '^$' -bench '^BenchmarkEventStoreQuery$' \
+	-benchtime "$BENCHTIME" ./internal/eventstore | tee -a "$work/bench.txt"
 
 go run ./cmd/benchjson -label "$LABEL" -commit "$commit" \
 	<"$work/bench.txt" >"$OUT"

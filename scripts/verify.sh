@@ -7,7 +7,8 @@
 #   scripts/verify.sh          full: build + vet + race tests + telemetry
 #                              invariant tests + live /debug/vars endpoint
 #                              smoke + golden-digest check + crash-recovery
-#                              smoke + multi-tenant server smoke + a 5s
+#                              smoke + multi-tenant server smoke +
+#                              WAL and event-store crash smokes + a 5s
 #                              fuzz smoke pass per fuzz target
 #   scripts/verify.sh -short   fast: build + vet + `go test -short -race` +
 #                              reduced crash-recovery and server smokes
@@ -43,6 +44,8 @@ if [ "$short" = 1 ]; then
 	sh scripts/server_smoke.sh 800 600
 	echo "==> WAL crash smoke (reduced)"
 	sh scripts/wal_crash_smoke.sh 3 1500
+	echo "==> event-store crash smoke (reduced)"
+	sh scripts/events_smoke.sh 3000 1200
 	echo "verify: OK (short)"
 	exit 0
 fi
@@ -65,6 +68,9 @@ sh scripts/server_smoke.sh
 echo "==> WAL crash smoke (scripts/wal_crash_smoke.sh)"
 sh scripts/wal_crash_smoke.sh
 
+echo "==> event-store crash smoke (scripts/events_smoke.sh)"
+sh scripts/events_smoke.sh
+
 echo "==> golden-digest check (cmd/conformgen -check)"
 go run ./cmd/conformgen -check >/dev/null
 
@@ -78,5 +84,7 @@ for target in FuzzTokenize FuzzTokenizeBytesEquivalence FuzzReadMessages FuzzHea
 done
 echo "==> go test -fuzz=FuzzWALDecode -fuzztime=5s ./internal/stream/wal"
 go test ./internal/stream/wal -run '^$' -fuzz '^FuzzWALDecode$' -fuzztime=5s >/dev/null
+echo "==> go test -fuzz=FuzzBlockDecode -fuzztime=5s ./internal/eventstore"
+go test ./internal/eventstore -run '^$' -fuzz '^FuzzBlockDecode$' -fuzztime=5s >/dev/null
 
 echo "verify: OK"
