@@ -33,7 +33,7 @@ func main() {
 
 func run() error {
 	var (
-		dataset  = flag.String("dataset", "HDFS", "dataset name (BGL, HPC, Proxifier, HDFS, Zookeeper)")
+		dataset  = flag.String("dataset", "HDFS", "dataset name (BGL, HPC, Proxifier, HDFS, Zookeeper, Hadoop, Spark, Thunderbird)")
 		lines    = flag.Int("lines", 10000, "number of log lines (line-oriented mode)")
 		sessions = flag.Int("sessions", 0, "number of HDFS block sessions (session mode; HDFS only)")
 		rate     = flag.Float64("rate", 0.0293, "anomalous session fraction (session mode)")

@@ -1,4 +1,4 @@
-// Command logparse parses a log file with one of the four algorithms and
+// Command logparse parses a log file with one of the six algorithms and
 // writes the toolkit's two standard outputs (§II-C, Fig. 1): a log-events
 // file listing the extracted templates and a structured-log file mapping
 // every input line to an event.
@@ -35,7 +35,7 @@ func main() {
 func run() error {
 	var (
 		in         = flag.String("in", "", "input log file (required)")
-		parserName = flag.String("parser", "IPLoM", "algorithm: SLCT, IPLoM, LKE, LogSig")
+		parserName = flag.String("parser", "IPLoM", "algorithm: SLCT, IPLoM, LKE, LogSig, Drain, Spell")
 		events     = flag.String("events", "", "log events output file (default stdout)")
 		structured = flag.String("structured", "", "structured log output file (omit to skip)")
 		maxLines   = flag.Int("max-lines", 0, "read at most this many lines (0 = all)")
@@ -45,6 +45,10 @@ func run() error {
 		frac       = flag.Float64("support-frac", 0, "SLCT: support as a fraction of input size")
 		groups     = flag.Int("groups", 0, "LogSig: number of groups k")
 		threshold  = flag.Float64("threshold", 0, "LKE: merge threshold (0 = automatic)")
+		depth      = flag.Int("depth", 0, "Drain: prefix-tree depth (0 = default 4)")
+		simTh      = flag.Float64("sim-threshold", 0, "Drain: leaf similarity threshold (0 = default 0.4)")
+		maxKids    = flag.Int("max-children", 0, "Drain: per-node fan-out cap (0 = default 100)")
+		tau        = flag.Float64("tau", 0, "Spell: LCS acceptance threshold (0 = default 0.5)")
 		stream     = flag.Bool("stream", false, "SLCT only: two-pass streaming parse with bounded memory")
 		epsilon    = flag.Float64("epsilon", 0, "streaming: lossy-counting error bound for the vocabulary pass (0 = exact)")
 		timeout    = flag.Duration("timeout", 0, "per-tier parse deadline (0 = none); enables the fault-tolerant wrapper")
@@ -90,12 +94,16 @@ func run() error {
 		tel = logparse.NewTelemetry()
 	}
 	opts := logparse.Options{
-		Seed:        *seed,
-		Support:     *support,
-		SupportFrac: *frac,
-		NumGroups:   *groups,
-		Threshold:   *threshold,
-		Telemetry:   tel,
+		Seed:         *seed,
+		Support:      *support,
+		SupportFrac:  *frac,
+		NumGroups:    *groups,
+		Threshold:    *threshold,
+		Depth:        *depth,
+		SimThreshold: *simTh,
+		MaxChildren:  *maxKids,
+		Tau:          *tau,
+		Telemetry:    tel,
 	}
 	parser, err := logparse.NewParser(*parserName, opts)
 	if err != nil {

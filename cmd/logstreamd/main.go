@@ -81,7 +81,7 @@ func main() {
 func run() (int, error) {
 	var (
 		in      = flag.String("in", "", "log file to ingest (annotated or raw lines)")
-		dataset = flag.String("dataset", "", "generate this dataset instead of reading -in (BGL, HPC, Proxifier, HDFS, Zookeeper)")
+		dataset = flag.String("dataset", "", "generate this dataset instead of reading -in (BGL, HPC, Proxifier, HDFS, Zookeeper, Hadoop, Spark, Thunderbird)")
 		lines   = flag.Int("lines", 20000, "dataset size when -dataset is set")
 		seed    = flag.Int64("seed", 1, "dataset generation seed")
 
@@ -94,6 +94,7 @@ func run() (int, error) {
 		maxUnmatched = flag.Int("max-unmatched", 0, "unmatched-buffer cap (default 4x retrain batch)")
 		primary      = flag.String("retrainer", "", "primary retrain algorithm ahead of the SLCT-stream tier (SLCT, IPLoM, LKE, LogSig; empty = SLCT-stream only)")
 		support      = flag.Int("support", 0, "SLCT support threshold for retraining (0 = fractional default)")
+		online       = flag.String("online", "", "online-parser mode: learn per line with this algorithm (Drain or Spell) instead of the match/retrain cycle; exclusive with -retrainer")
 
 		eventsDir   = flag.String("events", "", "record per-line parse decisions into this event-store directory (file mode) or root (-listen mode: tenant T under <root>/tenants/T); query with logquery or GET /v1/query")
 		eventsBlock = flag.Int("events-block-bytes", 0, "event-store target block size in bytes (0 = default 256 KiB); smaller blocks skip more precisely, larger compress better")
@@ -131,13 +132,16 @@ func run() (int, error) {
 		if *in != "" || *dataset != "" {
 			return 2, errors.New("-listen is exclusive with -in/-dataset")
 		}
+		if *online != "" && *primary != "" {
+			return 2, errors.New("-online is exclusive with -retrainer")
+		}
 		return runServer(serverOpts{
 			listen: *listen, addrFile: *listenAddrFile, ckptRoot: *ckptDir,
 			shards: *shards, quotaRate: *quotaRate, quotaBurst: *quotaBurst,
 			maxBody: *maxBody, reqTimeout: *reqTimeout, drainTimeout: *drainTimeout,
 			ring: *ring, ckptEvery: *ckptEvery, retrainBatch: *retrainBatch,
 			maxUnmatched: *maxUnmatched, policy: *policy,
-			primary: *primary, support: *support, seed: *seed,
+			primary: *primary, support: *support, seed: *seed, online: *online,
 			wal: *walOn, walSync: *walSync, walSegBytes: *walSegBytes,
 			eventsRoot: *eventsDir, eventsBlock: *eventsBlock,
 			debugAddr: *debugAddr, debugAddrFile: *debugAddrFile,
@@ -162,11 +166,23 @@ func run() (int, error) {
 		return 2, fmt.Errorf("unknown -policy %q (want backpressure or shed)", *policy)
 	}
 
-	retrainer, err := logparse.NewStreamRetrainer(*primary,
-		logparse.Options{Support: *support, SupportFrac: 0.005, NumGroups: 40, Seed: *seed},
-		logparse.RobustPolicy{})
-	if err != nil {
-		return 2, err
+	var retrainer stream.Retrainer
+	var onlineParser stream.OnlineParser
+	if *online != "" {
+		if *primary != "" {
+			return 2, errors.New("-online is exclusive with -retrainer")
+		}
+		onlineParser, err = logparse.NewOnlineParser(*online, logparse.Options{})
+		if err != nil {
+			return 2, err
+		}
+	} else {
+		retrainer, err = logparse.NewStreamRetrainer(*primary,
+			logparse.Options{Support: *support, SupportFrac: 0.005, NumGroups: 40, Seed: *seed},
+			logparse.RobustPolicy{})
+		if err != nil {
+			return 2, err
+		}
 	}
 
 	var tel *logparse.Telemetry
@@ -186,6 +202,7 @@ func run() (int, error) {
 		RetrainBatch:    *retrainBatch,
 		MaxUnmatched:    *maxUnmatched,
 		Retrainer:       retrainer,
+		Online:          onlineParser,
 		Telemetry:       tel,
 
 		EventStoreDir:        *eventsDir,
@@ -291,7 +308,7 @@ type serverOpts struct {
 	drainTimeout time.Duration
 
 	ring, ckptEvery, retrainBatch, maxUnmatched int
-	policy, primary                             string
+	policy, primary, online                     string
 	support                                     int
 	seed                                        int64
 
@@ -303,6 +320,31 @@ type serverOpts struct {
 	eventsBlock int
 
 	debugAddr, debugAddrFile string
+}
+
+// newRetrainerFactory builds the per-tenant retrainer factory, or nil when
+// -online replaces the retrain cycle entirely.
+func newRetrainerFactory(o serverOpts) func(tenant string) (stream.Retrainer, error) {
+	if o.online != "" {
+		return nil
+	}
+	return func(tenant string) (stream.Retrainer, error) {
+		return logparse.NewStreamRetrainer(o.primary,
+			logparse.Options{Support: o.support, SupportFrac: 0.005, NumGroups: 40, Seed: o.seed},
+			logparse.RobustPolicy{})
+	}
+}
+
+// newOnlineFactory builds the per-tenant online-learner factory for -online
+// mode (each tenant engine gets its own learner instance), or nil in the
+// default match/retrain mode.
+func newOnlineFactory(o serverOpts) func(tenant string) (stream.OnlineParser, error) {
+	if o.online == "" {
+		return nil
+	}
+	return func(tenant string) (stream.OnlineParser, error) {
+		return logparse.NewOnlineParser(o.online, logparse.Options{})
+	}
 }
 
 // runServer runs the sharded multi-tenant ingest service until SIGINT or
@@ -352,11 +394,8 @@ func runServer(o serverOpts) (int, error) {
 			WALSync:         sync,
 			WALSegmentBytes: o.walSegBytes,
 		},
-		NewRetrainer: func(tenant string) (stream.Retrainer, error) {
-			return logparse.NewStreamRetrainer(o.primary,
-				logparse.Options{Support: o.support, SupportFrac: 0.005, NumGroups: 40, Seed: o.seed},
-				logparse.RobustPolicy{})
-		},
+		NewRetrainer: newRetrainerFactory(o),
+		NewOnline:    newOnlineFactory(o),
 		QuotaRate:      o.quotaRate,
 		QuotaBurst:     o.quotaBurst,
 		MaxBodyBytes:   o.maxBody,

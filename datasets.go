@@ -25,9 +25,10 @@ type HDFSSessionOptions = gen.HDFSOptions
 // DatasetSummary is one row of the paper's Table I.
 type DatasetSummary = gen.Summary
 
-// Datasets lists the built-in dataset names (BGL, HPC, Proxifier, HDFS,
-// Zookeeper).
-func Datasets() []string { return append([]string(nil), gen.Names...) }
+// Datasets lists the built-in dataset names: the paper's five (BGL, HPC,
+// Proxifier, HDFS, Zookeeper) followed by the extended set (Hadoop,
+// Spark, Thunderbird).
+func Datasets() []string { return gen.AllNames() }
 
 // Dataset returns a built-in dataset catalogue by name.
 func Dataset(name string) (*Catalog, error) { return gen.ByName(name) }

@@ -1,0 +1,112 @@
+package conform
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"logparse/internal/parsers/drain"
+	"logparse/internal/parsers/spell"
+)
+
+// Fuzz targets over the streaming-native parsers' online edges: Drain's
+// incremental prefix-tree insert and Spell's LCS kernel. Seed corpora live
+// under testdata/fuzz; scripts/verify.sh and the CI fuzz job run short
+// coverage-guided passes over both.
+
+// FuzzDrainInsert feeds arbitrary line batches to Drain's online learner:
+// learning must never panic, the returned group index must be in range, the
+// template count must grow monotonically (merging narrows groups, never
+// deletes them), and replaying the same lines into a fresh learner must
+// reproduce the same templates.
+func FuzzDrainInsert(f *testing.F) {
+	fuzzSeeds(f)
+	f.Add("a 1\na 2\na 3\nb b b\n\na 4")
+	f.Add(strings.Repeat("x * y\n", 4) + "x z y")
+	f.Fuzz(func(t *testing.T, data string) {
+		lines := strings.Split(data, "\n")
+		if len(lines) > 64 {
+			lines = lines[:64]
+		}
+		s := drain.NewStream(drain.Options{})
+		prev := 0
+		for _, line := range lines {
+			if len(line) > 200 {
+				line = line[:200]
+			}
+			tokens := bytes.Fields([]byte(line))
+			if len(tokens) == 0 {
+				continue
+			}
+			idx, _ := s.LearnBytes(tokens)
+			n := len(s.Templates())
+			if idx < 0 || idx >= n {
+				t.Fatalf("LearnBytes returned index %d with %d templates", idx, n)
+			}
+			if n < prev {
+				t.Fatalf("template count shrank: %d -> %d", prev, n)
+			}
+			prev = n
+		}
+		// Replay determinism: a fresh learner over the same input converges
+		// to the same template set.
+		again := drain.NewStream(drain.Options{})
+		for _, line := range lines {
+			if len(line) > 200 {
+				line = line[:200]
+			}
+			if tokens := bytes.Fields([]byte(line)); len(tokens) > 0 {
+				again.LearnBytes(tokens)
+			}
+		}
+		if !reflect.DeepEqual(s.Templates(), again.Templates()) {
+			t.Fatal("online learning is nondeterministic across identical replays")
+		}
+	})
+}
+
+// FuzzSpellLCS checks Spell's LCS kernel against its defining properties:
+// the result is a subsequence of both inputs, no longer than either, equal
+// to the whole sequence when the inputs agree, and symmetric in length.
+func FuzzSpellLCS(f *testing.F) {
+	f.Add("a b c d", "a x c y")
+	f.Add("", "anything at all")
+	f.Add("same same same", "same same same")
+	f.Add("one two three four five", "five four three two one")
+	f.Fuzz(func(t *testing.T, sa, sb string) {
+		a, b := strings.Fields(sa), strings.Fields(sb)
+		if len(a) > 64 {
+			a = a[:64]
+		}
+		if len(b) > 64 {
+			b = b[:64]
+		}
+		got := spell.LCS(a, b)
+		if len(got) > len(a) || len(got) > len(b) {
+			t.Fatalf("LCS longer than an input: %d vs (%d, %d)", len(got), len(a), len(b))
+		}
+		if !isSubsequence(got, a) || !isSubsequence(got, b) {
+			t.Fatalf("LCS %q is not a subsequence of both %q and %q", got, a, b)
+		}
+		if reflect.DeepEqual(a, b) && len(got) != len(a) {
+			t.Fatalf("LCS of identical inputs has length %d, want %d", len(got), len(a))
+		}
+		rev := spell.LCS(b, a)
+		if len(rev) != len(got) {
+			t.Fatalf("LCS length asymmetric: |LCS(a,b)|=%d |LCS(b,a)|=%d", len(got), len(rev))
+		}
+	})
+}
+
+// isSubsequence reports whether sub appears in seq in order (not
+// necessarily contiguously).
+func isSubsequence(sub, seq []string) bool {
+	i := 0
+	for _, s := range seq {
+		if i < len(sub) && sub[i] == s {
+			i++
+		}
+	}
+	return i == len(sub)
+}

@@ -1,0 +1,55 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHadoopEventCount(t *testing.T) {
+	if got := Hadoop().NumEvents(); got != hadoopEvents {
+		t.Fatalf("Hadoop catalogue has %d events, want %d", got, hadoopEvents)
+	}
+}
+
+func TestHadoopLengthRange(t *testing.T) {
+	lo, hi := Hadoop().LengthRange()
+	if lo < 2 || hi > 45 {
+		t.Errorf("Hadoop length range [%d,%d] outside expected [2,45]", lo, hi)
+	}
+}
+
+func TestHadoopGenerateDeterministic(t *testing.T) {
+	a := Hadoop().Generate(17, 500)
+	b := Hadoop().Generate(17, 500)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Hadoop generation not deterministic in seed")
+	}
+}
+
+func TestHadoopMessagesMatchTheirSpec(t *testing.T) {
+	c := Hadoop()
+	byID := make(map[string]Spec)
+	for _, s := range c.Specs {
+		byID[s.ID] = s
+	}
+	for _, m := range c.Generate(3, 800) {
+		spec, ok := byID[m.TruthID]
+		if !ok {
+			t.Fatalf("message labelled with unknown spec %q", m.TruthID)
+		}
+		if got, want := len(m.Tokens), spec.MinTokens(); got < want {
+			t.Errorf("%s: rendered %d tokens, spec minimum %d", m.TruthID, got, want)
+		}
+	}
+}
+
+func TestHadoopZipfSkew(t *testing.T) {
+	small := DistinctEvents(Hadoop().Generate(1, 400))
+	large := DistinctEvents(Hadoop().Generate(1, 40000))
+	if small >= large {
+		t.Errorf("distinct events must grow with volume: %d vs %d", small, large)
+	}
+	if large < hadoopEvents/2 {
+		t.Errorf("40k lines exposed only %d of %d events", large, hadoopEvents)
+	}
+}

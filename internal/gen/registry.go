@@ -16,6 +16,11 @@ var FullSize = map[string]int{
 	"Proxifier": 10108,
 	"HDFS":      11175629,
 	"Zookeeper": 74380,
+
+	// Extended (non-paper) catalogues, at their loghub collection sizes.
+	"Hadoop":      394308,
+	"Spark":       33236604,
+	"Thunderbird": 211212192,
 }
 
 // FullHDFSSessions is the paper's number of block operation requests.
@@ -24,8 +29,20 @@ const FullHDFSSessions = 575061
 // FullHDFSAnomalies is the paper's number of labelled anomalies.
 const FullHDFSAnomalies = 16838
 
-// Names lists the datasets in the paper's presentation order.
+// Names lists the datasets in the paper's presentation order. Frozen at the
+// paper's five systems: experiment sweeps, goldens and Table I all iterate
+// this list, so new catalogues go in ExtraNames instead.
 var Names = []string{"BGL", "HPC", "Proxifier", "HDFS", "Zookeeper"}
+
+// ExtraNames lists catalogues beyond the paper's five — loghub-style systems
+// added for the online-parser conformance suite. ByName resolves them like
+// any other dataset, but the paper experiments never sweep them.
+var ExtraNames = []string{"Hadoop", "Spark", "Thunderbird"}
+
+// AllNames returns the paper datasets followed by the extras.
+func AllNames() []string {
+	return append(append([]string(nil), Names...), ExtraNames...)
+}
 
 // ByName returns the catalogue for a dataset name (case-insensitive).
 func ByName(name string) (*Catalog, error) {
@@ -40,8 +57,15 @@ func ByName(name string) (*Catalog, error) {
 		return HDFS(), nil
 	case "zookeeper":
 		return Zookeeper(), nil
+	case "hadoop":
+		return Hadoop(), nil
+	case "spark":
+		return Spark(), nil
+	case "thunderbird":
+		return Thunderbird(), nil
 	default:
-		return nil, fmt.Errorf("gen: unknown dataset %q (want one of %s)", name, strings.Join(Names, ", "))
+		return nil, fmt.Errorf("gen: unknown dataset %q (want one of %s)",
+			name, strings.Join(AllNames(), ", "))
 	}
 }
 

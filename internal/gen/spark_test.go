@@ -1,0 +1,53 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSparkEventCount(t *testing.T) {
+	if got := Spark().NumEvents(); got != sparkEvents {
+		t.Fatalf("Spark catalogue has %d events, want %d", got, sparkEvents)
+	}
+}
+
+func TestSparkLengthRange(t *testing.T) {
+	lo, hi := Spark().LengthRange()
+	if lo < 2 || hi > 30 {
+		t.Errorf("Spark length range [%d,%d] outside expected [2,30]", lo, hi)
+	}
+}
+
+func TestSparkGenerateDeterministic(t *testing.T) {
+	a := Spark().Generate(23, 500)
+	b := Spark().Generate(23, 500)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Spark generation not deterministic in seed")
+	}
+}
+
+func TestSparkMessagesMatchTheirSpec(t *testing.T) {
+	c := Spark()
+	byID := make(map[string]Spec)
+	for _, s := range c.Specs {
+		byID[s.ID] = s
+	}
+	for _, m := range c.Generate(3, 800) {
+		spec, ok := byID[m.TruthID]
+		if !ok {
+			t.Fatalf("message labelled with unknown spec %q", m.TruthID)
+		}
+		if got, want := len(m.Tokens), spec.MinTokens(); got < want {
+			t.Errorf("%s: rendered %d tokens, spec minimum %d", m.TruthID, got, want)
+		}
+	}
+}
+
+func TestSparkSmallVocabularyCoveredQuickly(t *testing.T) {
+	// Spark's 36-event vocabulary is the smallest in the extended suite;
+	// even a modest sample exposes most of it.
+	got := DistinctEvents(Spark().Generate(1, 10000))
+	if got < sparkEvents*2/3 {
+		t.Errorf("10k lines exposed only %d of %d events", got, sparkEvents)
+	}
+}

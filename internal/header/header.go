@@ -86,6 +86,61 @@ var (
 			return ts.Format("[01.02 15:04:05]")
 		},
 	}
+	// Hadoop: "2015-10-18 18:01:47,978 INFO [main] org.apache.hadoop.mapreduce.v2.app.MRAppMaster: <content>"
+	Hadoop = Format{
+		Name:      "Hadoop",
+		NumFields: 5,
+		render: func(ts time.Time, rng *rand.Rand) string {
+			sev := []string{"INFO", "WARN", "ERROR"}
+			procs := []string{"[main]", "[RMCommunicator Allocator]", "[AsyncDispatcher event handler]", "[IPC Server handler 0 on 62270]", "[eventHandlingThread]"}
+			comps := []string{
+				"org.apache.hadoop.mapreduce.v2.app.MRAppMaster:",
+				"org.apache.hadoop.mapreduce.v2.app.rm.RMContainerAllocator:",
+				"org.apache.hadoop.mapreduce.v2.app.job.impl.TaskAttemptImpl:",
+				"org.apache.hadoop.yarn.client.RMProxy:",
+				"org.apache.hadoop.ipc.Client:",
+			}
+			// "[IPC Server handler ...]" spans several whitespace fields, so
+			// the process tag must stay a single token for NumFields
+			// stripping to hold; replace inner spaces.
+			proc := strings.ReplaceAll(procs[rng.Intn(len(procs))], " ", "_")
+			return fmt.Sprintf("%s %s %s %s",
+				ts.Format("2006-01-02 15:04:05,000"), sev[rng.Intn(len(sev))],
+				proc, comps[rng.Intn(len(comps))])
+		},
+	}
+	// Spark: "17/06/09 20:10:40 INFO executor.Executor: <content>"
+	Spark = Format{
+		Name:      "Spark",
+		NumFields: 4,
+		render: func(ts time.Time, rng *rand.Rand) string {
+			sev := []string{"INFO", "WARN", "ERROR"}
+			comps := []string{
+				"executor.Executor:", "storage.MemoryStore:", "broadcast.TorrentBroadcast:",
+				"storage.BlockManager:", "executor.CoarseGrainedExecutorBackend:",
+				"spark.MapOutputTrackerWorker:", "storage.ShuffleBlockFetcherIterator:",
+			}
+			return fmt.Sprintf("%s %s %s",
+				ts.Format("06/01/02 15:04:05"), sev[rng.Intn(len(sev))],
+				comps[rng.Intn(len(comps))])
+		},
+	}
+	// Thunderbird: "- 1131566461 2005.11.09 dn228 Nov 9 12:01:01 dn228/dn228 crond(pam_unix)[2915]: <content>"
+	Thunderbird = Format{
+		Name:      "Thunderbird",
+		NumFields: 9,
+		render: func(ts time.Time, rng *rand.Rand) string {
+			node := fmt.Sprintf("dn%d", rng.Intn(1024))
+			comps := []string{
+				"crond(pam_unix)", "sshd", "ntpd", "kernel", "pbs_mom",
+				"postfix/smtpd", "xinetd", "dhcpd",
+			}
+			return fmt.Sprintf("- %d %s %s %s %s/%s %s[%d]:",
+				ts.Unix(), ts.Format("2006.01.02"), node,
+				ts.Format("Jan 2 15:04:05"), node, node,
+				comps[rng.Intn(len(comps))], rng.Intn(32768))
+		},
+	}
 )
 
 // ForDataset returns the header format for a dataset name; ok is false for
@@ -102,6 +157,12 @@ func ForDataset(name string) (Format, bool) {
 		return Zookeeper, true
 	case "proxifier":
 		return Proxifier, true
+	case "hadoop":
+		return Hadoop, true
+	case "spark":
+		return Spark, true
+	case "thunderbird":
+		return Thunderbird, true
 	default:
 		return Format{}, false
 	}

@@ -12,7 +12,7 @@ var testTime = time.Date(2008, 11, 9, 20, 35, 32, 0, time.UTC)
 func TestRenderStripRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	content := "Receiving block blk_1 src: /10.0.0.1:4000 dest: /10.0.0.2:50010"
-	for _, f := range []Format{HDFS, BGL, HPC, Zookeeper, Proxifier} {
+	for _, f := range []Format{HDFS, BGL, HPC, Zookeeper, Proxifier, Hadoop, Spark, Thunderbird} {
 		t.Run(f.Name, func(t *testing.T) {
 			line := f.Render(content, testTime, rng)
 			if got := f.Strip(line); got != content {
@@ -37,7 +37,7 @@ func TestStripHandlesExtraWhitespace(t *testing.T) {
 }
 
 func TestForDataset(t *testing.T) {
-	for _, name := range []string{"HDFS", "bgl", "HPC", "Zookeeper", "proxifier"} {
+	for _, name := range []string{"HDFS", "bgl", "HPC", "Zookeeper", "proxifier", "Hadoop", "spark", "Thunderbird"} {
 		if _, ok := ForDataset(name); !ok {
 			t.Errorf("ForDataset(%q) not found", name)
 		}
@@ -49,7 +49,7 @@ func TestForDataset(t *testing.T) {
 
 func TestHeaderFieldCounts(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	for _, f := range []Format{HDFS, BGL, HPC, Zookeeper, Proxifier} {
+	for _, f := range []Format{HDFS, BGL, HPC, Zookeeper, Proxifier, Hadoop, Spark, Thunderbird} {
 		line := f.Render("CONTENT_MARKER rest of message", testTime, rng)
 		fields := strings.Fields(line)
 		if len(fields) < f.NumFields+2 {

@@ -79,8 +79,9 @@ func New(templates []core.Template) (*Matcher, error) {
 	return m, nil
 }
 
-// freeze caches the sole exact edge of every single-child node. The trie is
-// immutable after New, so the cache never goes stale.
+// freeze caches the sole exact edge of every single-child node. The trie
+// changes only through New and Insert, and Insert maintains the cache along
+// the path it extends, so the cache never goes stale.
 func freeze(n *node) {
 	if len(n.children) == 1 {
 		for k, c := range n.children {
@@ -93,6 +94,56 @@ func freeze(n *node) {
 	if n.wildcard != nil {
 		freeze(n.wildcard)
 	}
+}
+
+// Insert adds one template to the matcher in O(template length),
+// maintaining the single-child fast-path cache along the extended path —
+// the incremental twin of New for online learners that grow their template
+// set one group at a time and cannot afford an O(n) rebuild per growth.
+// Duplicate token sequences are rejected like in New; the matcher is
+// unchanged when an error is returned. Not safe for concurrent use with
+// matching.
+func (m *Matcher) Insert(t core.Template) error {
+	if len(t.Tokens) == 0 {
+		return fmt.Errorf("match: template %s has no tokens", t.ID)
+	}
+	root := m.root[len(t.Tokens)]
+	if root == nil {
+		root = newNode()
+		m.root[len(t.Tokens)] = root
+	}
+	n := root
+	for _, tok := range t.Tokens {
+		if tok == core.Wildcard {
+			if n.wildcard == nil {
+				n.wildcard = newNode()
+			}
+			n = n.wildcard
+			continue
+		}
+		child, ok := n.children[tok]
+		if !ok {
+			child = newNode()
+			n.children[tok] = child
+			switch len(n.children) {
+			case 1:
+				n.soleKey, n.soleChild = tok, child
+			case 2:
+				n.soleKey, n.soleChild = "", nil
+			}
+		}
+		n = child
+	}
+	if n.template >= 0 {
+		return fmt.Errorf("match: templates %s and %s are identical",
+			m.templates[n.template].ID, t.ID)
+	}
+	n.template = len(m.templates)
+	m.templates = append(m.templates, core.Template{
+		ID:     t.ID,
+		Tokens: append([]string(nil), t.Tokens...),
+	})
+	return nil
 }
 
 // FromResult builds a matcher from a parse result's templates.

@@ -239,3 +239,75 @@ func TestNumTemplates(t *testing.T) {
 		t.Errorf("NumTemplates = %d", m.NumTemplates())
 	}
 }
+
+// TestInsertEquivalentToNew grows a matcher one template at a time and
+// requires it to behave exactly like a matcher built in one shot at every
+// step — same match outcomes (including the exact-over-wildcard tie-break
+// and single-child fast-path cache transitions), same build-order indices.
+func TestInsertEquivalentToNew(t *testing.T) {
+	seq := []core.Template{
+		tmpl("A", "a", "b", "c"),
+		tmpl("B", "a", "b", "*"),
+		tmpl("C", "a", "x", "c"),
+		tmpl("D", "q", "r"),
+		tmpl("E", "*", "r"),
+		tmpl("F", "a", "y", "c"),
+	}
+	probes := [][]string{
+		{"a", "b", "c"}, {"a", "b", "z"}, {"a", "x", "c"}, {"a", "y", "c"},
+		{"q", "r"}, {"z", "r"}, {"a", "b"}, {"nope"},
+	}
+	grown, err := New(seq[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= len(seq); n++ {
+		if n > 1 {
+			if err := grown.Insert(seq[n-1]); err != nil {
+				t.Fatalf("insert %s: %v", seq[n-1].ID, err)
+			}
+		}
+		fresh, err := New(seq[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grown.NumTemplates() != fresh.NumTemplates() {
+			t.Fatalf("after %d inserts: %d templates, want %d", n, grown.NumTemplates(), fresh.NumTemplates())
+		}
+		for _, p := range probes {
+			gi, gok := grown.MatchIndex(p)
+			fi, fok := fresh.MatchIndex(p)
+			if gi != fi || gok != fok {
+				t.Errorf("after %d inserts, probe %v: grown (%d,%v) vs fresh (%d,%v)", n, p, gi, gok, fi, fok)
+			}
+			bs := make([][]byte, len(p))
+			for i, tok := range p {
+				bs[i] = []byte(tok)
+			}
+			if bi, bok := grown.MatchBytes(bs); bi != gi || bok != gok {
+				t.Errorf("after %d inserts, probe %v: MatchBytes (%d,%v) vs MatchIndex (%d,%v)", n, p, bi, bok, gi, gok)
+			}
+		}
+	}
+}
+
+// TestInsertRejectsDuplicateAndEmpty mirrors New's validation on the
+// incremental path; a rejected insert must leave the matcher untouched.
+func TestInsertRejectsDuplicateAndEmpty(t *testing.T) {
+	m, err := New([]core.Template{tmpl("A", "a", "*")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(tmpl("B", "a", "*")); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+	if err := m.Insert(tmpl("C")); err == nil {
+		t.Error("empty insert accepted")
+	}
+	if m.NumTemplates() != 1 {
+		t.Errorf("failed inserts changed the template set: %d", m.NumTemplates())
+	}
+	if idx, ok := m.MatchIndex([]string{"a", "z"}); !ok || idx != 0 {
+		t.Errorf("match after failed inserts = (%d,%v)", idx, ok)
+	}
+}

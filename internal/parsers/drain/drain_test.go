@@ -1,0 +1,278 @@
+package drain
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"logparse/internal/core"
+	"logparse/internal/telemetry"
+)
+
+func msgs(lines ...string) []core.LogMessage {
+	out := make([]core.LogMessage, len(lines))
+	for i, l := range lines {
+		out[i] = core.LogMessage{LineNo: i + 1, Content: l, Tokens: core.Tokenize(l)}
+	}
+	return out
+}
+
+func sampleLines() []string {
+	return []string{
+		"Receiving block blk_1 src: 10.0.0.1 dest: 10.0.0.2",
+		"Receiving block blk_2 src: 10.0.0.3 dest: 10.0.0.4",
+		"Verification succeeded for blk_1",
+		"Verification succeeded for blk_9",
+		"PacketResponder 1 for block blk_1 terminating",
+		"PacketResponder 0 for block blk_7 terminating",
+		"Receiving block blk_3 src: 10.0.0.5 dest: 10.0.0.6",
+	}
+}
+
+func TestParseClustersByEvent(t *testing.T) {
+	res, err := New(Options{}).Parse(msgs(sampleLines()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(7); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Templates) != 3 {
+		t.Fatalf("got %d templates, want 3: %v", len(res.Templates), res.Templates)
+	}
+	if res.Assignment[0] != res.Assignment[1] || res.Assignment[0] != res.Assignment[6] {
+		t.Errorf("Receiving lines split: %v", res.Assignment)
+	}
+	if res.Assignment[2] != res.Assignment[3] || res.Assignment[4] != res.Assignment[5] {
+		t.Errorf("event lines split: %v", res.Assignment)
+	}
+	want := "Receiving block * src: * dest: *"
+	if got := res.Templates[res.Assignment[0]].String(); got != want {
+		t.Errorf("template = %q, want %q", got, want)
+	}
+}
+
+func TestParseDeterministicAndNonRetaining(t *testing.T) {
+	in := msgs(sampleLines()...)
+	snapshot := make([]core.LogMessage, len(in))
+	copy(snapshot, in)
+	a, err := New(Options{}).Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{}).Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two parses of the same input differ")
+	}
+	for i := range in {
+		if in[i].Content != snapshot[i].Content || !reflect.DeepEqual(in[i].Tokens, snapshot[i].Tokens) {
+			t.Fatalf("message %d mutated by Parse", i)
+		}
+	}
+}
+
+func TestParseEmptyAndOutliers(t *testing.T) {
+	if _, err := New(Options{}).Parse(nil); err != core.ErrNoMessages {
+		t.Errorf("empty input: err = %v, want ErrNoMessages", err)
+	}
+	res, err := New(Options{}).Parse(msgs("alpha beta", "   ", "alpha beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[1] != core.OutlierID {
+		t.Errorf("blank line assigned %d, want outlier", res.Assignment[1])
+	}
+	if res.Assignment[0] != res.Assignment[2] {
+		t.Errorf("identical lines split: %v", res.Assignment)
+	}
+}
+
+func TestParseCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(Options{}).ParseCtx(ctx, msgs(sampleLines()...)); err == nil {
+		t.Error("cancelled parse returned nil error")
+	}
+}
+
+func TestDigitTokensRouteToWildcard(t *testing.T) {
+	// Two lines whose first token is a digit-bearing parameter must share a
+	// leaf (both route through the wildcard edge) and merge at st=0.4.
+	s := NewStream(Options{})
+	learn := func(line string) int {
+		toks := core.TokenizeBytes([]byte(line), nil)
+		idx, _ := s.LearnBytes(toks)
+		return idx
+	}
+	a := learn("conn1 established to peer alpha")
+	b := learn("conn2 established to peer beta")
+	if a != b {
+		t.Errorf("digit-prefixed lines got groups %d and %d, want shared", a, b)
+	}
+	if got := s.Templates()[a].String(); got != "* established to peer *" {
+		t.Errorf("merged template = %q", got)
+	}
+}
+
+func TestMaxChildrenOverflowMerges(t *testing.T) {
+	s := NewStream(Options{MaxChildren: 2})
+	learn := func(line string) int {
+		idx, _ := s.LearnBytes(core.TokenizeBytes([]byte(line), nil))
+		return idx
+	}
+	learn("alpha service ready now ok")
+	learn("beta service ready now ok")
+	// Third distinct head token overflows the fan-out and routes through
+	// the wildcard edge — a fresh leaf, so a new group is created there.
+	c := learn("gamma service ready now ok")
+	d := learn("delta service ready now ok")
+	if c == 0 || c == 1 {
+		t.Fatalf("overflow line joined literal-edge group %d", c)
+	}
+	if c != d {
+		t.Errorf("two overflow lines got groups %d and %d, want shared", c, d)
+	}
+}
+
+func TestTemplateCountMonotone(t *testing.T) {
+	s := NewStream(Options{})
+	lines := append(sampleLines(), sampleLines()...)
+	prev := 0
+	for _, l := range lines {
+		idx, _ := s.LearnBytes(core.TokenizeBytes([]byte(l), nil))
+		n := s.NumTemplates()
+		if n < prev {
+			t.Fatalf("template count shrank: %d -> %d", prev, n)
+		}
+		if idx < 0 || idx >= n {
+			t.Fatalf("index %d out of range [0,%d)", idx, n)
+		}
+		prev = n
+	}
+}
+
+func TestSnapshotRestoreIdenticalDecisions(t *testing.T) {
+	warm := sampleLines()
+	after := []string{
+		"Receiving block blk_77 src: 10.0.0.9 dest: 10.0.0.1",
+		"Verification succeeded for blk_2",
+		"Deleting block blk_5 file /data/5",
+		"PacketResponder 2 for block blk_4 terminating",
+	}
+	orig := NewStream(Options{})
+	for _, l := range warm {
+		orig.LearnBytes(core.TokenizeBytes([]byte(l), nil))
+	}
+	blob, err := orig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStream(Options{})
+	if err := restored.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Templates(), restored.Templates()) {
+		t.Fatal("restored template set differs")
+	}
+	for _, l := range after {
+		toks := core.TokenizeBytes([]byte(l), nil)
+		oi, oc := orig.LearnBytes(toks)
+		ri, rc := restored.LearnBytes(core.TokenizeBytes([]byte(l), nil))
+		if oi != ri || oc != rc {
+			t.Fatalf("line %q: original (%d,%v) vs restored (%d,%v)", l, oi, oc, ri, rc)
+		}
+	}
+	if !reflect.DeepEqual(orig.Templates(), restored.Templates()) {
+		t.Fatal("template sets diverged after post-restore learning")
+	}
+}
+
+func TestRestoreRejectsParameterMismatch(t *testing.T) {
+	s := NewStream(Options{})
+	s.LearnBytes(core.TokenizeBytes([]byte("alpha beta"), nil))
+	blob, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := NewStream(Options{SimThreshold: 0.9})
+	if err := other.Restore(blob); err == nil {
+		t.Error("restore under different SimThreshold accepted")
+	}
+	if err := NewStream(Options{}).Restore([]byte("{")); err == nil {
+		t.Error("malformed snapshot accepted")
+	}
+}
+
+func TestBatchMatchesOnline(t *testing.T) {
+	lines := append(sampleLines(), sampleLines()...)
+	res, err := New(Options{}).Parse(msgs(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream(Options{})
+	for i, l := range lines {
+		idx, _ := s.LearnBytes(core.TokenizeBytes([]byte(l), nil))
+		if idx != res.Assignment[i] {
+			t.Fatalf("line %d: online group %d, batch %d", i, idx, res.Assignment[i])
+		}
+	}
+	if !reflect.DeepEqual(res.Templates, s.Templates()) {
+		t.Error("online and batch template sets differ")
+	}
+}
+
+// TestLearnMatchedPathAllocs pins the steady-state learn path — descent,
+// leaf similarity scan, group hit without template change — at zero
+// allocations per line: it is the stream engine's per-line cost in online
+// mode.
+func TestLearnMatchedPathAllocs(t *testing.T) {
+	s := NewStream(Options{})
+	warm := [][]byte{
+		[]byte("Receiving block blk_1 src: 10.0.0.1 dest: 10.0.0.2"),
+		[]byte("Receiving block blk_2 src: 10.0.0.3 dest: 10.0.0.4"),
+		[]byte("PacketResponder 1 for block blk_1 terminating"),
+	}
+	var buf [][]byte
+	for _, l := range warm {
+		buf = core.TokenizeBytes(l, buf)
+		s.LearnBytes(buf)
+	}
+	line := []byte("Receiving block blk_9 src: 10.0.0.7 dest: 10.0.0.8")
+	fn := func() {
+		buf = core.TokenizeBytes(line, buf)
+		if _, changed := s.LearnBytes(buf); changed {
+			t.Fatal("warm line still changes the template set")
+		}
+	}
+	fn()
+	if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+		t.Errorf("matched learn path: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestTelemetryInstrumentation(t *testing.T) {
+	tel := telemetry.New()
+	if _, err := New(Options{Telemetry: tel}).Parse(msgs(sampleLines()...)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tel.Counter("parse.drain.calls").Value(); got != 1 {
+		t.Errorf("parse.drain.calls = %d, want 1", got)
+	}
+	if got := tel.Counter("parse.drain.lines").Value(); got != 7 {
+		t.Errorf("parse.drain.lines = %d, want 7", got)
+	}
+}
+
+func TestTemplatesAreCopies(t *testing.T) {
+	s := NewStream(Options{})
+	s.LearnBytes(core.TokenizeBytes([]byte("alpha beta gamma"), nil))
+	tm := s.Templates()
+	tm[0].Tokens[0] = "mutated"
+	if got := s.Templates()[0].String(); strings.Contains(got, "mutated") {
+		t.Error("Templates() exposes internal state")
+	}
+}

@@ -1,0 +1,404 @@
+// Package spell implements the Spell parser (Du & Li, ICDM 2016): streaming
+// template extraction by longest common subsequence. Each learned object
+// keeps a template; a new line joins the object whose constant tokens share
+// the longest common subsequence with it, provided the LCS covers at least
+// a Tau fraction of the line, and joining wildcards the positions that
+// disagree. Objects here are bucketed by token count, keeping templates
+// positional — the representation the rest of the toolkit (matcher trie,
+// conformance canonicalisation, stream digests) is built on.
+//
+// A prefix-tree accelerator fronts the LCS scan: the current templates are
+// compiled into a match.Matcher trie, and a line positionally covered by an
+// existing template short-circuits to that object without running any LCS —
+// allocation-free, which is what keeps the stream engine's matched hot path
+// at zero allocations per line. Only lines that change the template set pay
+// the quadratic LCS work.
+//
+// Spell is naturally online: LearnBytes consumes one tokenised line with no
+// retrain cycle, and the batch Parse/ParseCtx surface replays the corpus
+// through a fresh learner, so streamed and batch runs agree by
+// construction.
+package spell
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"logparse/internal/core"
+	"logparse/internal/match"
+	"logparse/internal/telemetry"
+)
+
+// DefaultTau is the minimum fraction of a line's tokens the LCS against an
+// object's constants must cover for the line to join the object.
+const DefaultTau = 0.5
+
+// Options configures Spell. The zero value selects the defaults. Spell is
+// deterministic: it consumes no random seed.
+type Options struct {
+	// Tau is the LCS acceptance threshold in (0,1]. 0 selects DefaultTau.
+	Tau float64
+	// Telemetry instruments parses when non-nil.
+	Telemetry *telemetry.Handle
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tau <= 0 {
+		o.Tau = DefaultTau
+	}
+	return o
+}
+
+// object is one learned LCS object: a positional template plus the cached
+// list of its constant (non-wildcard) tokens the LCS runs against.
+type object struct {
+	tokens    []string
+	constants []string
+}
+
+func (o *object) refreshConstants() {
+	o.constants = o.constants[:0]
+	for _, t := range o.tokens {
+		if t != core.Wildcard {
+			o.constants = append(o.constants, t)
+		}
+	}
+}
+
+// StreamParser is the online Spell learner. It is not safe for concurrent
+// use; the stream engine serialises access under its own lock.
+type StreamParser struct {
+	opts Options
+	objs []*object
+
+	// matcher is the prefix-tree accelerator over the current templates;
+	// fastIdx maps its build order back to object indices (two objects can
+	// converge to the same template string — the trie keeps the first).
+	matcher *match.Matcher
+	fastIdx []int
+
+	// prev/curr are the reusable LCS DP rows; lineBuf the reusable token
+	// strings of the slow path.
+	prev, curr []int
+	lineBuf    []string
+}
+
+// NewStream returns an empty online learner.
+func NewStream(opts Options) *StreamParser {
+	return &StreamParser{opts: opts.withDefaults()}
+}
+
+// Name identifies the algorithm in checkpoints and telemetry.
+func (s *StreamParser) Name() string { return "Spell" }
+
+// NumTemplates reports the number of objects learned so far.
+func (s *StreamParser) NumTemplates() int { return len(s.objs) }
+
+// LearnBytes consumes one tokenised line: a positional template cover
+// (through the trie accelerator) short-circuits to its object; otherwise
+// the line joins the same-length object with the longest LCS against its
+// constants when that LCS covers at least Tau of the line, wildcarding
+// disagreeing positions, or founds a new object. Returns the object index
+// (stable creation order) and whether the template set changed. Tokens
+// must be non-empty; their backing storage is not retained.
+func (s *StreamParser) LearnBytes(tokens [][]byte) (idx int, changed bool) {
+	if s.matcher != nil {
+		if mi, ok := s.matcher.MatchBytes(tokens); ok {
+			return s.fastIdx[mi], false
+		}
+	}
+
+	// Slow path: materialise the tokens once, scan objects in creation
+	// order for the longest LCS, earliest object on ties.
+	toks := s.lineBuf[:0]
+	for _, t := range tokens {
+		toks = append(toks, string(t))
+	}
+	s.lineBuf = toks
+
+	best, bestLen := -1, 0
+	for j, obj := range s.objs {
+		if len(obj.tokens) != len(toks) {
+			continue
+		}
+		if l := s.lcsLen(toks, obj.constants); l > bestLen {
+			best, bestLen = j, l
+		}
+	}
+	if best >= 0 && float64(bestLen) >= s.opts.Tau*float64(len(toks)) {
+		obj := s.objs[best]
+		for i, t := range obj.tokens {
+			if t != core.Wildcard && t != toks[i] {
+				obj.tokens[i] = core.Wildcard
+				changed = true
+			}
+		}
+		if changed {
+			obj.refreshConstants()
+			s.rebuildMatcher()
+		}
+		return best, changed
+	}
+
+	obj := &object{tokens: append([]string(nil), toks...)}
+	obj.refreshConstants()
+	idx = len(s.objs)
+	s.objs = append(s.objs, obj)
+	s.insertMatcher(idx)
+	return idx, true
+}
+
+// insertMatcher extends the accelerator with object j's template in
+// O(template length) — new objects are the common way the template set
+// grows, and a full O(objects) rebuild per growth would make learning
+// quadratic on high-cardinality streams. A duplicate insert (the new object
+// converged onto an existing rendered template) leaves the trie routing to
+// the earliest object, matching rebuildMatcher's dedup.
+func (s *StreamParser) insertMatcher(j int) {
+	if s.matcher == nil {
+		s.rebuildMatcher()
+		return
+	}
+	t := core.Template{
+		ID:     fmt.Sprintf("L%d", j+1),
+		Tokens: append([]string(nil), s.objs[j].tokens...),
+	}
+	if err := s.matcher.Insert(t); err != nil {
+		return
+	}
+	s.fastIdx = append(s.fastIdx, j)
+}
+
+// lcsLen computes the length of the longest common subsequence of a and b
+// with two reusable DP rows, allocating only when a longer b arrives.
+func (s *StreamParser) lcsLen(a, b []string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	w := len(b) + 1
+	if cap(s.prev) < w {
+		s.prev = make([]int, w)
+		s.curr = make([]int, w)
+	}
+	prev, curr := s.prev[:w], s.curr[:w]
+	for j := range prev {
+		prev[j] = 0
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = 0
+		for j := 1; j <= len(b); j++ {
+			switch {
+			case a[i-1] == b[j-1]:
+				curr[j] = prev[j-1] + 1
+			case prev[j] >= curr[j-1]:
+				curr[j] = prev[j]
+			default:
+				curr[j] = curr[j-1]
+			}
+		}
+		prev, curr = curr, prev
+	}
+	s.prev, s.curr = prev[:0], curr[:0]
+	return prev[:w][len(b)]
+}
+
+// LCS returns one longest common subsequence of a and b. Deterministic:
+// ties during backtracking prefer consuming from the tail of a. Exported
+// for the fuzz harness, whose invariant is that the result is a
+// subsequence of both inputs with the maximal length.
+func LCS(a, b []string) []string {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	dp := make([][]int, len(a)+1)
+	for i := range dp {
+		dp[i] = make([]int, len(b)+1)
+	}
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			switch {
+			case a[i-1] == b[j-1]:
+				dp[i][j] = dp[i-1][j-1] + 1
+			case dp[i-1][j] >= dp[i][j-1]:
+				dp[i][j] = dp[i-1][j]
+			default:
+				dp[i][j] = dp[i][j-1]
+			}
+		}
+	}
+	out := make([]string, 0, dp[len(a)][len(b)])
+	for i, j := len(a), len(b); i > 0 && j > 0; {
+		switch {
+		case a[i-1] == b[j-1]:
+			out = append(out, a[i-1])
+			i--
+			j--
+		case dp[i-1][j] >= dp[i][j-1]:
+			i--
+		default:
+			j--
+		}
+	}
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	return out
+}
+
+// Templates returns the learned templates in object-creation order; index i
+// of LearnBytes addresses Templates()[i].
+func (s *StreamParser) Templates() []core.Template {
+	out := make([]core.Template, len(s.objs))
+	for i, obj := range s.objs {
+		out[i] = core.Template{
+			ID:     fmt.Sprintf("L%d", i+1),
+			Tokens: append([]string(nil), obj.tokens...),
+		}
+	}
+	return out
+}
+
+// rebuildMatcher recompiles the accelerator trie from the current
+// templates, deduplicating converged template strings (the trie routes
+// them to the earliest object).
+func (s *StreamParser) rebuildMatcher() {
+	seen := make(map[string]bool, len(s.objs))
+	tmpls := make([]core.Template, 0, len(s.objs))
+	s.fastIdx = s.fastIdx[:0]
+	for j, obj := range s.objs {
+		key := strings.Join(obj.tokens, " ")
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		tmpls = append(tmpls, core.Template{
+			ID:     fmt.Sprintf("L%d", j+1),
+			Tokens: append([]string(nil), obj.tokens...),
+		})
+		s.fastIdx = append(s.fastIdx, j)
+	}
+	if len(tmpls) == 0 {
+		s.matcher = nil
+		return
+	}
+	m, err := match.New(tmpls)
+	if err != nil {
+		// Unreachable (duplicates are removed above); degrade to the LCS
+		// path rather than fail the learner.
+		s.matcher = nil
+		return
+	}
+	s.matcher = m
+}
+
+// spellState is the serialised learner. The templates alone determine every
+// future decision (constants and the accelerator are derived), so they are
+// the whole state.
+type spellState struct {
+	Tau       float64    `json:"tau"`
+	Templates [][]string `json:"templates"`
+}
+
+// Snapshot serialises the learner for a checkpoint.
+func (s *StreamParser) Snapshot() ([]byte, error) {
+	tmpls := make([][]string, len(s.objs))
+	for i, obj := range s.objs {
+		tmpls[i] = obj.tokens
+	}
+	return json.Marshal(spellState{Tau: s.opts.Tau, Templates: tmpls})
+}
+
+// Restore replaces the learner's state with a snapshot taken under the same
+// Tau.
+func (s *StreamParser) Restore(data []byte) error {
+	var st spellState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("spell: decode snapshot: %w", err)
+	}
+	if st.Tau != s.opts.Tau {
+		return fmt.Errorf("spell: snapshot tau %g differs from configured %g", st.Tau, s.opts.Tau)
+	}
+	s.objs = nil
+	for i, toks := range st.Templates {
+		if len(toks) == 0 {
+			return fmt.Errorf("spell: snapshot template %d is empty", i)
+		}
+		obj := &object{tokens: append([]string(nil), toks...)}
+		obj.refreshConstants()
+		s.objs = append(s.objs, obj)
+	}
+	s.rebuildMatcher()
+	return nil
+}
+
+// Parser is the batch façade over the online learner.
+type Parser struct {
+	opts Options
+}
+
+// New returns a batch Spell parser.
+func New(opts Options) *Parser { return &Parser{opts: opts.withDefaults()} }
+
+// Name returns the algorithm name.
+func (p *Parser) Name() string { return "Spell" }
+
+// cancelCheckStride bounds how many lines are learned between context
+// checks.
+const cancelCheckStride = 1024
+
+// Parse learns the corpus line by line and reports the final templates with
+// each message assigned to its object.
+func (p *Parser) Parse(msgs []core.LogMessage) (*core.ParseResult, error) {
+	return p.ParseCtx(context.Background(), msgs)
+}
+
+// ParseCtx is Parse under a context.
+func (p *Parser) ParseCtx(ctx context.Context, msgs []core.LogMessage) (*core.ParseResult, error) {
+	if len(msgs) == 0 {
+		return nil, core.ErrNoMessages
+	}
+	tel := p.opts.Telemetry
+	tel.Counter("parse.spell.calls").Inc()
+	tel.Counter("parse.spell.lines").Add(uint64(len(msgs)))
+	sp := tel.SpanFrom(ctx, "spell.parse")
+	start := time.Now()
+	defer func() {
+		sp.End()
+		tel.Histogram("parse.spell.seconds", telemetry.DurationBuckets).Observe(time.Since(start).Seconds())
+	}()
+
+	stage := sp.Child("learn")
+	s := NewStream(p.opts)
+	assign := make([]int, len(msgs))
+	var buf [][]byte
+	for i := range msgs {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				stage.End()
+				return nil, fmt.Errorf("spell: parse cancelled at line %d: %w", i, err)
+			}
+		}
+		toks := msgs[i].Tokens
+		if toks == nil {
+			toks = core.Tokenize(msgs[i].Content)
+		}
+		if len(toks) == 0 {
+			assign[i] = core.OutlierID
+			continue
+		}
+		buf = buf[:0]
+		for _, t := range toks {
+			buf = append(buf, []byte(t))
+		}
+		assign[i], _ = s.LearnBytes(buf)
+	}
+	stage.End()
+
+	stage = sp.Child("templates")
+	res := &core.ParseResult{Templates: s.Templates(), Assignment: assign}
+	stage.End()
+	return res, nil
+}

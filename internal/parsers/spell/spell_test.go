@@ -1,0 +1,257 @@
+package spell
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"logparse/internal/core"
+	"logparse/internal/telemetry"
+)
+
+func msgs(lines ...string) []core.LogMessage {
+	out := make([]core.LogMessage, len(lines))
+	for i, l := range lines {
+		out[i] = core.LogMessage{LineNo: i + 1, Content: l, Tokens: core.Tokenize(l)}
+	}
+	return out
+}
+
+func sampleLines() []string {
+	return []string{
+		"Deleting block blk_1 file /data/1",
+		"Deleting block blk_2 file /data/2",
+		"session 0x1 closed after 15 ms",
+		"session 0x2 closed after 9 ms",
+		"Deleting block blk_3 file /data/3",
+	}
+}
+
+func TestParseClustersByEvent(t *testing.T) {
+	res, err := New(Options{}).Parse(msgs(sampleLines()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Templates) != 2 {
+		t.Fatalf("got %d templates, want 2: %v", len(res.Templates), res.Templates)
+	}
+	if res.Assignment[0] != res.Assignment[1] || res.Assignment[0] != res.Assignment[4] {
+		t.Errorf("Deleting lines split: %v", res.Assignment)
+	}
+	if res.Assignment[2] != res.Assignment[3] {
+		t.Errorf("session lines split: %v", res.Assignment)
+	}
+	if got := res.Templates[res.Assignment[0]].String(); got != "Deleting block * file *" {
+		t.Errorf("template = %q", got)
+	}
+	if got := res.Templates[res.Assignment[2]].String(); got != "session * closed after * ms" {
+		t.Errorf("template = %q", got)
+	}
+}
+
+func TestParseDeterministic(t *testing.T) {
+	in := msgs(sampleLines()...)
+	a, err := New(Options{}).Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{}).Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two parses of the same input differ")
+	}
+}
+
+func TestParseEmptyAndOutliers(t *testing.T) {
+	if _, err := New(Options{}).Parse(nil); err != core.ErrNoMessages {
+		t.Errorf("empty input: err = %v, want ErrNoMessages", err)
+	}
+	res, err := New(Options{}).Parse(msgs("alpha beta", "\t "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[1] != core.OutlierID {
+		t.Errorf("blank line assigned %d, want outlier", res.Assignment[1])
+	}
+}
+
+func TestParseCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(Options{}).ParseCtx(ctx, msgs(sampleLines()...)); err == nil {
+		t.Error("cancelled parse returned nil error")
+	}
+}
+
+func TestTauRejectsDissimilarLines(t *testing.T) {
+	s := NewStream(Options{Tau: 0.9})
+	a, _ := s.LearnBytes(core.TokenizeBytes([]byte("connection from 10.0.0.1 refused"), nil))
+	b, _ := s.LearnBytes(core.TokenizeBytes([]byte("shutdown requested by operator now"), nil))
+	if a == b {
+		t.Error("dissimilar lines merged under tau=0.9")
+	}
+}
+
+func TestLCSProperties(t *testing.T) {
+	cases := []struct {
+		a, b, want []string
+	}{
+		{[]string{"a", "b", "c", "d"}, []string{"b", "d"}, []string{"b", "d"}},
+		{[]string{"x"}, []string{"y"}, nil},
+		{nil, []string{"a"}, nil},
+		{[]string{"a", "a", "b"}, []string{"a", "b", "a"}, []string{"a", "a"}},
+	}
+	for _, c := range cases {
+		got := LCS(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Errorf("LCS(%v, %v) = %v, want length %d", c.a, c.b, got, len(c.want))
+			continue
+		}
+		if !isSubsequence(got, c.a) || !isSubsequence(got, c.b) {
+			t.Errorf("LCS(%v, %v) = %v is not a common subsequence", c.a, c.b, got)
+		}
+	}
+}
+
+func isSubsequence(sub, seq []string) bool {
+	i := 0
+	for _, s := range seq {
+		if i < len(sub) && sub[i] == s {
+			i++
+		}
+	}
+	return i == len(sub)
+}
+
+func TestLCSLenMatchesLCS(t *testing.T) {
+	s := NewStream(Options{})
+	a := []string{"alpha", "beta", "gamma", "delta", "beta"}
+	b := []string{"beta", "gamma", "beta", "omega"}
+	if got, want := s.lcsLen(a, b), len(LCS(a, b)); got != want {
+		t.Errorf("lcsLen = %d, LCS length = %d", got, want)
+	}
+}
+
+func TestTemplateCountMonotone(t *testing.T) {
+	s := NewStream(Options{})
+	prev := 0
+	for _, l := range append(sampleLines(), sampleLines()...) {
+		idx, _ := s.LearnBytes(core.TokenizeBytes([]byte(l), nil))
+		n := s.NumTemplates()
+		if n < prev {
+			t.Fatalf("template count shrank: %d -> %d", prev, n)
+		}
+		if idx < 0 || idx >= n {
+			t.Fatalf("index %d out of range [0,%d)", idx, n)
+		}
+		prev = n
+	}
+}
+
+func TestSnapshotRestoreIdenticalDecisions(t *testing.T) {
+	orig := NewStream(Options{})
+	for _, l := range sampleLines() {
+		orig.LearnBytes(core.TokenizeBytes([]byte(l), nil))
+	}
+	blob, err := orig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStream(Options{})
+	if err := restored.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Templates(), restored.Templates()) {
+		t.Fatal("restored template set differs")
+	}
+	after := []string{
+		"Deleting block blk_9 file /data/9",
+		"session 0x9 closed after 77 ms",
+		"starting rebalance cycle over 4 volumes",
+		"Deleting block blk_10 file /data/10",
+	}
+	for _, l := range after {
+		oi, oc := orig.LearnBytes(core.TokenizeBytes([]byte(l), nil))
+		ri, rc := restored.LearnBytes(core.TokenizeBytes([]byte(l), nil))
+		if oi != ri || oc != rc {
+			t.Fatalf("line %q: original (%d,%v) vs restored (%d,%v)", l, oi, oc, ri, rc)
+		}
+	}
+	if !reflect.DeepEqual(orig.Templates(), restored.Templates()) {
+		t.Fatal("template sets diverged after post-restore learning")
+	}
+}
+
+func TestRestoreRejectsMismatch(t *testing.T) {
+	s := NewStream(Options{})
+	s.LearnBytes(core.TokenizeBytes([]byte("alpha beta"), nil))
+	blob, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewStream(Options{Tau: 0.8}).Restore(blob); err == nil {
+		t.Error("restore under different tau accepted")
+	}
+	if err := NewStream(Options{}).Restore([]byte("not json")); err == nil {
+		t.Error("malformed snapshot accepted")
+	}
+}
+
+func TestBatchMatchesOnline(t *testing.T) {
+	lines := append(sampleLines(), sampleLines()...)
+	res, err := New(Options{}).Parse(msgs(lines...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream(Options{})
+	for i, l := range lines {
+		idx, _ := s.LearnBytes(core.TokenizeBytes([]byte(l), nil))
+		if idx != res.Assignment[i] {
+			t.Fatalf("line %d: online object %d, batch %d", i, idx, res.Assignment[i])
+		}
+	}
+	if !reflect.DeepEqual(res.Templates, s.Templates()) {
+		t.Error("online and batch template sets differ")
+	}
+}
+
+// TestLearnMatchedPathAllocs pins the accelerated learn path — a line
+// positionally covered by an existing template, resolved by the trie
+// without running LCS — at zero allocations per line.
+func TestLearnMatchedPathAllocs(t *testing.T) {
+	s := NewStream(Options{})
+	var buf [][]byte
+	for _, l := range sampleLines() {
+		buf = core.TokenizeBytes([]byte(l), buf)
+		s.LearnBytes(buf)
+	}
+	line := []byte("Deleting block blk_42 file /data/42")
+	fn := func() {
+		buf = core.TokenizeBytes(line, buf)
+		if _, changed := s.LearnBytes(buf); changed {
+			t.Fatal("warm line still changes the template set")
+		}
+	}
+	fn()
+	if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+		t.Errorf("accelerated learn path: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestTelemetryInstrumentation(t *testing.T) {
+	tel := telemetry.New()
+	if _, err := New(Options{Telemetry: tel}).Parse(msgs(sampleLines()...)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tel.Counter("parse.spell.calls").Value(); got != 1 {
+		t.Errorf("parse.spell.calls = %d, want 1", got)
+	}
+	if got := tel.Counter("parse.spell.lines").Value(); got != 5 {
+		t.Errorf("parse.spell.lines = %d, want 5", got)
+	}
+}

@@ -97,6 +97,12 @@ type Config struct {
 	// retrainers keep one tenant's poisoned retrain input out of its
 	// neighbours' mining.
 	NewRetrainer func(tenant string) (stream.Retrainer, error)
+	// NewOnline builds a tenant's online parser, switching every tenant
+	// engine to online-parser mode (learn-per-line, no retrain cycle).
+	// Learners hold per-engine mutable state, so a fresh instance per
+	// tenant is mandatory — that is why this is a factory and Stream.Online
+	// is rejected as a template field. Nil keeps retrain mode.
+	NewOnline func(tenant string) (stream.OnlineParser, error)
 	// QuotaRate is the per-tenant admission quota in lines/sec (0 =
 	// unlimited). A batch that exceeds the tenant's available tokens is
 	// rejected whole with 429 and a Retry-After, so clients can replay it
@@ -196,6 +202,9 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.CheckpointRoot == "" {
 		return nil, errors.New("server: Config.CheckpointRoot is required")
+	}
+	if cfg.Stream.Online != nil {
+		return nil, errors.New("server: set Config.NewOnline, not Stream.Online — learners hold per-engine state and must not be shared across tenants")
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = 4
@@ -391,6 +400,13 @@ func (s *Server) createTenant(sh *shard, id string) (*tenant, error) {
 			return nil, fmt.Errorf("server: retrainer for tenant %s: %w", id, err)
 		}
 		cfg.Retrainer = rt
+	}
+	if s.cfg.NewOnline != nil {
+		op, err := s.cfg.NewOnline(id)
+		if err != nil {
+			return nil, fmt.Errorf("server: online parser for tenant %s: %w", id, err)
+		}
+		cfg.Online = op
 	}
 	if s.cfg.ConfigureEngine != nil {
 		s.cfg.ConfigureEngine(id, sh.id, &cfg)

@@ -14,6 +14,7 @@ import (
 
 	"logparse/internal/core"
 	"logparse/internal/gen"
+	"logparse/internal/parsers/drain"
 	"logparse/internal/stream"
 )
 
@@ -647,5 +648,72 @@ func TestTenantValidation(t *testing.T) {
 	}
 	if _, err := s.TenantStats("never-seen"); !errors.Is(err, ErrUnknownTenant) {
 		t.Fatalf("stats for unknown tenant = %v, want ErrUnknownTenant", err)
+	}
+}
+
+// TestOnlineModeFleet runs the fleet in online-parser mode: every tenant
+// gets its own Drain learner from the NewOnline factory, learns in place on
+// the hot path (no retrain cycle at all), and two tenants fed the identical
+// stream converge to the identical digest. Also pins the constructor
+// guards: a learner instance in Stream.Online is rejected (it would be
+// shared across tenants), and a failing factory surfaces as an ingest
+// error, not a half-built tenant.
+func TestOnlineModeFleet(t *testing.T) {
+	cfg := Config{
+		CheckpointRoot: t.TempDir(),
+		Shards:         4,
+		Stream: stream.Config{
+			RingCapacity:    256,
+			CheckpointEvery: 400,
+		},
+		NewOnline: func(tenant string) (stream.OnlineParser, error) {
+			if tenant == "badfactory" {
+				return nil, errors.New("no learner for you")
+			}
+			return drain.NewStream(drain.Options{}), nil
+		},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := tenantLines(t, 0, 1500)
+	ingestAll(t, s, "alpha", lines, 300)
+	ingestAll(t, s, "beta", lines, 300)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := s.Ingest("badfactory", []string{"x"}); err == nil {
+		t.Error("failing NewOnline factory did not fail ingest")
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var digests []string
+	for _, id := range []string{"alpha", "beta"} {
+		st, err := s.TenantStats(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Stream.OnlineParser != "Drain" {
+			t.Errorf("tenant %s OnlineParser = %q, want Drain", id, st.Stream.OnlineParser)
+		}
+		if st.Stream.Retrains != 0 {
+			t.Errorf("tenant %s retrained %d times in online mode", id, st.Stream.Retrains)
+		}
+		if st.Stream.Matched != int64(len(lines)) {
+			t.Errorf("tenant %s matched %d of %d", id, st.Stream.Matched, len(lines))
+		}
+		digests = append(digests, st.Digest)
+	}
+	if digests[0] != digests[1] {
+		t.Errorf("identical streams diverged: %s vs %s", digests[0], digests[1])
+	}
+
+	shared := cfg
+	shared.CheckpointRoot = t.TempDir()
+	shared.NewOnline = nil
+	shared.Stream.Online = drain.NewStream(drain.Options{})
+	if _, err := New(shared); err == nil {
+		t.Error("shared Stream.Online learner accepted")
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"logparse/internal/parsers/drain"
+	"logparse/internal/parsers/spell"
 	"logparse/internal/telemetry"
 )
 
@@ -186,6 +188,49 @@ func BenchmarkStreamIngestEventStore(b *testing.B) {
 		b.ReportMetric(float64(n*b.N)/elapsed, "lines/sec")
 	}
 	b.ReportMetric(float64(evtBytes)/float64(b.N), "evt-B/op")
+}
+
+// benchOnlineIngest drives one full engine run in online-parser mode over n
+// synthetic lines: the learner absorbs every line on the hot path, periodic
+// checkpoints serialise it, and lines/sec is directly comparable with
+// BenchmarkStreamIngest's retrain-mode figure at the same cadence.
+func benchOnlineIngest(b *testing.B, n int, mk func() OnlineParser) {
+	lines := synthLines(n, 99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := New(Config{
+			Open:            memOpen(lines),
+			CheckpointDir:   b.TempDir(),
+			RingCapacity:    1024,
+			CheckpointEvery: 5000,
+			Online:          mk(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := e.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(n*b.N)/elapsed, "lines/sec")
+	}
+}
+
+// BenchmarkDrainIngest measures online-mode ingestion with the Drain
+// learner on the hot path.
+func BenchmarkDrainIngest(b *testing.B) {
+	benchOnlineIngest(b, 20000, func() OnlineParser { return drain.NewStream(drain.Options{}) })
+}
+
+// BenchmarkSpellIngest measures online-mode ingestion with the Spell
+// learner on the hot path.
+func BenchmarkSpellIngest(b *testing.B) {
+	benchOnlineIngest(b, 20000, func() OnlineParser { return spell.NewStream(spell.Options{}) })
 }
 
 // BenchmarkStreamIngestTelemetry is BenchmarkStreamIngest's telemetry-on

@@ -59,6 +59,14 @@ type Counters struct {
 	RetrainFailures  int64 `json:"retrain_failures"`
 }
 
+// OnlineState carries an online parser's serialised learner inside a
+// checkpoint. Parser names the algorithm so restore can refuse a snapshot
+// written by a different learner; Data is the learner's own opaque payload.
+type OnlineState struct {
+	Parser string          `json:"parser"`
+	Data   json.RawMessage `json:"data"`
+}
+
 // State is everything an Engine needs to resume: where it was in the
 // stream, what it knows, and what it had not yet explained.
 type State struct {
@@ -75,6 +83,9 @@ type State struct {
 	// restarts (an open breaker resumes open with a fresh cooldown).
 	BreakerFailures int  `json:"breaker_failures"`
 	BreakerOpen     bool `json:"breaker_open"`
+	// Online is the serialised online learner when the checkpoint was taken
+	// in online-parser mode, nil in retrain mode.
+	Online *OnlineState `json:"online,omitempty"`
 }
 
 // CorruptError reports a checkpoint file that exists but cannot be trusted.
@@ -325,12 +336,20 @@ func validateState(st *State) error {
 	for i, t := range st.Templates {
 		key := strings.Join(t.Tokens, " ")
 		if seen[key] {
-			return fmt.Errorf("duplicate template %d (%q)", i, key)
+			// Online learners keep group identity, not rendered-string
+			// identity: two groups can legitimately converge to the same
+			// template. The matcher rebuild in online mode dedups instead.
+			if st.Online == nil {
+				return fmt.Errorf("duplicate template %d (%q)", i, key)
+			}
 		}
 		seen[key] = true
 		if t.Count < 0 {
 			return fmt.Errorf("template %d has negative count", i)
 		}
+	}
+	if st.Online != nil && st.Online.Parser == "" {
+		return fmt.Errorf("online state missing parser name")
 	}
 	return nil
 }

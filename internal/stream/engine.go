@@ -47,6 +47,11 @@ type Engine struct {
 	ctrs      Counters
 	breaker   *breaker
 
+	// online is the learn-per-line parser in online-parser mode (nil in
+	// retrain mode); onlineDirty marks e.templates stale relative to it.
+	online      OnlineParser
+	onlineDirty bool
+
 	sinceCkpt     int
 	checkpoints   int64
 	ckptErrors    int64
@@ -116,7 +121,11 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	if cfg.Retrainer == nil {
+	if cfg.Online != nil {
+		if len(cfg.InitialTemplates) > 0 {
+			return nil, fmt.Errorf("stream: Config.Online and Config.InitialTemplates are mutually exclusive (the learner owns the template set)")
+		}
+	} else if cfg.Retrainer == nil {
 		rt, err := NewRetrainer(robust.Policy{}, nil, slct.StreamOptions{})
 		if err != nil {
 			return nil, err
@@ -130,11 +139,12 @@ func New(cfg Config) (*Engine, error) {
 	store.wrap = cfg.CheckpointWrap
 
 	e := &Engine{
-		cfg:   cfg,
-		store: store,
-		now:   cfg.Now,
-		index: make(map[string]int),
-		tm:    newEngineTelemetry(cfg.Telemetry),
+		cfg:    cfg,
+		store:  store,
+		now:    cfg.Now,
+		index:  make(map[string]int),
+		online: cfg.Online,
+		tm:     newEngineTelemetry(cfg.Telemetry),
 	}
 	if cfg.Telemetry != nil {
 		// Count checkpoint bytes closest to the file, under any
@@ -229,6 +239,12 @@ func New(cfg Config) (*Engine, error) {
 
 // restore rebuilds in-memory state from a checkpoint.
 func (e *Engine) restore(st *State) error {
+	if e.online != nil {
+		return e.restoreOnline(st)
+	}
+	if st.Online != nil {
+		return fmt.Errorf("stream: checkpoint was written in online-parser mode (%s); configure Config.Online to resume it", st.Online.Parser)
+	}
 	tmpls := make([]core.Template, len(st.Templates))
 	counts := make([]int64, len(st.Templates))
 	for i, t := range st.Templates {
@@ -240,6 +256,41 @@ func (e *Engine) restore(st *State) error {
 	}
 	e.counts = counts
 	e.unmatched = append([]string(nil), st.Unmatched...)
+	e.offset = st.Offset
+	e.ctrs = st.Counters
+	e.breaker = newBreaker(e.cfg.Breaker, st.BreakerFailures, st.BreakerOpen, e.now())
+	return nil
+}
+
+// restoreOnline rebuilds online-parser-mode state: the learner restores its
+// own serialised snapshot, and the checkpoint's template list (which carries
+// the per-group counts) must agree with what the restored learner renders —
+// group order and rendered strings both — or the counts would be attributed
+// to the wrong groups.
+func (e *Engine) restoreOnline(st *State) error {
+	if st.Online == nil {
+		return fmt.Errorf("stream: checkpoint was written in retrain mode; it cannot resume under an online parser")
+	}
+	if st.Online.Parser != e.online.Name() {
+		return fmt.Errorf("stream: checkpoint online parser %q differs from configured %q", st.Online.Parser, e.online.Name())
+	}
+	if err := e.online.Restore(st.Online.Data); err != nil {
+		return fmt.Errorf("stream: restore online parser: %w", err)
+	}
+	tmpls := e.online.Templates()
+	if len(tmpls) != len(st.Templates) {
+		return fmt.Errorf("stream: restored online parser has %d templates, checkpoint lists %d", len(tmpls), len(st.Templates))
+	}
+	counts := make([]int64, len(st.Templates))
+	for i, t := range st.Templates {
+		if tmpls[i].String() != strings.Join(t.Tokens, " ") {
+			return fmt.Errorf("stream: restored online template %d (%q) diverges from checkpoint (%q)",
+				i, tmpls[i].String(), strings.Join(t.Tokens, " "))
+		}
+		counts[i] = t.Count
+	}
+	e.templates = tmpls
+	e.counts = counts
 	e.offset = st.Offset
 	e.ctrs = st.Counters
 	e.breaker = newBreaker(e.cfg.Breaker, st.BreakerFailures, st.BreakerOpen, e.now())
@@ -521,6 +572,28 @@ func (e *Engine) process(ctx context.Context, it item) (ckptDue bool) {
 		e.tm.empty.Inc()
 		return ckptDue
 	}
+	if e.online != nil {
+		// Online-parser mode: the learner assigns every line a group on the
+		// spot — there is no unmatched buffer and no retrain cycle. The
+		// steady-state path (no template change) is allocation-free, pinned
+		// by TestOnlineMatchedPathAllocs; counts grow only when a new group
+		// is created, and template rendering is deferred to sync points
+		// (checkpoint, Result, Stats) so the hot path never materialises
+		// strings.
+		idx, changed := e.online.LearnBytes(tokens)
+		if changed {
+			e.onlineDirty = true
+			if idx >= len(e.counts) {
+				e.counts = append(e.counts, 0)
+				e.tm.templates.Set(int64(len(e.counts)))
+			}
+		}
+		e.counts[idx]++
+		e.ctrs.Matched++
+		e.tm.matched.Inc()
+		e.recordEventLocked(it.lineNo, int32(idx), eventstore.KindMatched)
+		return ckptDue
+	}
 	if e.matcher != nil {
 		if idx, ok := e.matcher.MatchBytes(tokens); ok {
 			e.counts[idx]++
@@ -666,7 +739,22 @@ func (e *Engine) checkpointLocked() error {
 		e.tm.ckptErrors.Inc()
 		return err
 	}
+	e.syncOnlineLocked()
+	var onlineState *OnlineState
+	if e.online != nil {
+		// A learner that cannot serialise refuses the checkpoint the same
+		// way a failed event store does: persisting a State without the
+		// learner would strand the template counts.
+		blob, err := e.online.Snapshot()
+		if err != nil {
+			e.ckptErrors++
+			e.tm.ckptErrors.Inc()
+			return fmt.Errorf("stream: snapshot online parser: %w", err)
+		}
+		onlineState = &OnlineState{Parser: e.online.Name(), Data: blob}
+	}
 	st := &State{
+		Online:          onlineState,
 		Offset:          e.offset,
 		Templates:       make([]SavedTemplate, len(e.templates)),
 		Unmatched:       append([]string(nil), e.unmatched...),
@@ -711,6 +799,7 @@ func (e *Engine) checkpointLocked() error {
 func (e *Engine) Result() ([]core.Template, []int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.syncOnlineLocked()
 	tmpls := make([]core.Template, len(e.templates))
 	for i, t := range e.templates {
 		tmpls[i] = core.Template{ID: t.ID, Tokens: append([]string(nil), t.Tokens...)}
@@ -738,6 +827,7 @@ func (e *Engine) RecoveryError() error {
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.syncOnlineLocked()
 	s := Stats{
 		Processed:         e.ctrs.Processed,
 		Matched:           e.ctrs.Matched,
@@ -756,6 +846,9 @@ func (e *Engine) Stats() Stats {
 		Templates:         len(e.templates),
 		Breaker:           e.breaker.stateName(),
 		RecoveredFrom:     e.recoveredFrom,
+	}
+	if e.online != nil {
+		s.OnlineParser = e.online.Name()
 	}
 	if e.recoveryErr != nil {
 		s.RecoveryError = e.recoveryErr.Error()

@@ -1,0 +1,278 @@
+package stream
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"logparse/internal/core"
+	"logparse/internal/parsers/drain"
+	"logparse/internal/parsers/spell"
+)
+
+// onlineFactories covers both online learners; every conformance-style test
+// below runs against each.
+func onlineFactories() map[string]func() OnlineParser {
+	return map[string]func() OnlineParser{
+		"drain": func() OnlineParser { return drain.NewStream(drain.Options{}) },
+		"spell": func() OnlineParser { return spell.NewStream(spell.Options{}) },
+	}
+}
+
+// runOnline drives one engine incarnation over lines in online-parser mode.
+// killAt > 0 cancels the context after that line — the crash path, no
+// closing checkpoint — and the error is expected; killAt <= 0 runs to the
+// clean end.
+func runOnline(t *testing.T, dir string, lines []string, parser OnlineParser, killAt int64, ckptEvery int) *Engine {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e, err := New(Config{
+		Open:            memOpen(lines),
+		CheckpointDir:   dir,
+		CheckpointEvery: ckptEvery,
+		Online:          parser,
+		AfterLine: func(n int64) {
+			if killAt > 0 && n >= killAt {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Run(ctx)
+	if killAt > 0 {
+		if err == nil {
+			t.Fatalf("run killed at line %d returned nil error", killAt)
+		}
+	} else if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	return e
+}
+
+// TestOnlineRunLearnsAndCheckpoints is the basic online-mode contract: a run
+// learns templates in place (no retrainer configured), every non-empty line
+// is matched, and the closing checkpoint carries the learner.
+func TestOnlineRunLearnsAndCheckpoints(t *testing.T) {
+	for name, mk := range onlineFactories() {
+		t.Run(name, func(t *testing.T) {
+			lines := synthLines(2000, 7)
+			dir := t.TempDir()
+			e := runOnline(t, dir, lines, mk(), 0, 500)
+			st := e.Stats()
+			if st.Templates == 0 {
+				t.Fatal("no templates learned")
+			}
+			if st.Matched != st.Processed-st.Empty {
+				t.Fatalf("online mode left lines unassigned: %+v", st)
+			}
+			if st.UnmatchedBuffered != 0 || st.Retrains != 0 {
+				t.Fatalf("online mode used the retrain cycle: %+v", st)
+			}
+			if st.OnlineParser == "" {
+				t.Fatal("Stats.OnlineParser is empty in online mode")
+			}
+			tmpls, counts := e.Result()
+			var total int64
+			for _, c := range counts {
+				total += c
+			}
+			if total != st.Matched {
+				t.Fatalf("counts sum %d, matched %d", total, st.Matched)
+			}
+			if len(tmpls) != st.Templates {
+				t.Fatalf("Result has %d templates, Stats %d", len(tmpls), st.Templates)
+			}
+		})
+	}
+}
+
+// TestOnlineCheckpointRoundTrip reopens a cleanly-checkpointed online engine
+// and requires the digest to survive the restart, the learner to resume from
+// the serialised snapshot, and further learning to proceed.
+func TestOnlineCheckpointRoundTrip(t *testing.T) {
+	for name, mk := range onlineFactories() {
+		t.Run(name, func(t *testing.T) {
+			lines := synthLines(1500, 21)
+			dir := t.TempDir()
+			first := runOnline(t, dir, lines, mk(), 0, 400)
+			want := first.Digest()
+			wantOffset := first.Stats().Offset
+
+			resumed, err := New(Config{
+				Open:          memOpen(lines),
+				CheckpointDir: dir,
+				Online:        mk(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := resumed.Stats()
+			if st.RecoveredFrom != "current" {
+				t.Fatalf("recovered from %q, want current", st.RecoveredFrom)
+			}
+			if st.Offset != wantOffset {
+				t.Fatalf("restored offset %d, want %d", st.Offset, wantOffset)
+			}
+			if got := resumed.Digest(); got != want {
+				t.Fatalf("digest changed across restart:\n  before %s\n  after  %s", want, got)
+			}
+			// The source has no lines past the restored offset; a resumed run
+			// must be a no-op that leaves the digest untouched.
+			if err := resumed.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if got := resumed.Digest(); got != want {
+				t.Fatalf("no-op resume changed digest:\n  before %s\n  after  %s", want, got)
+			}
+		})
+	}
+}
+
+// TestOnlineKillAndRecoverConvergence is the online-mode determinism
+// contract from the PR issue: kill the engine at three uncheckpointed
+// points, resume from disk each time with a fresh learner instance, and the
+// final digest must equal an uninterrupted run's — the checkpoint carries
+// the learner's full state, and replay from the last checkpoint is
+// deterministic.
+func TestOnlineKillAndRecoverConvergence(t *testing.T) {
+	for name, mk := range onlineFactories() {
+		t.Run(name, func(t *testing.T) {
+			lines := synthLines(4000, 31)
+			want := runOnline(t, t.TempDir(), lines, mk(), 0, 500).Digest()
+
+			dir := t.TempDir()
+			for _, killAt := range []int64{701, 1903, 3307} {
+				runOnline(t, dir, lines, mk(), killAt, 500)
+			}
+			got := runOnline(t, dir, lines, mk(), 0, 500).Digest()
+			if got != want {
+				t.Fatalf("kill-and-recover digest diverged:\n  uninterrupted %s\n  recovered     %s", want, got)
+			}
+		})
+	}
+}
+
+// TestOnlineModeMismatchRefused pins the checkpoint compatibility matrix: a
+// retrain-mode checkpoint refuses to resume under an online parser, an
+// online checkpoint refuses retrain mode, and an online checkpoint refuses a
+// different online algorithm.
+func TestOnlineModeMismatchRefused(t *testing.T) {
+	lines := synthLines(1000, 5)
+
+	retrainDir := t.TempDir()
+	e, err := New(Config{Open: memOpen(lines), CheckpointDir: retrainDir, Retrainer: &groupMiner{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{CheckpointDir: retrainDir, Online: drain.NewStream(drain.Options{})}); err == nil {
+		t.Error("retrain checkpoint accepted by online engine")
+	} else if !strings.Contains(err.Error(), "retrain mode") {
+		t.Errorf("retrain-into-online error = %v", err)
+	}
+
+	onlineDir := t.TempDir()
+	runOnline(t, onlineDir, lines, drain.NewStream(drain.Options{}), 0, 500)
+	if _, err := New(Config{CheckpointDir: onlineDir, Retrainer: &groupMiner{}}); err == nil {
+		t.Error("online checkpoint accepted by retrain engine")
+	} else if !strings.Contains(err.Error(), "online-parser mode") {
+		t.Errorf("online-into-retrain error = %v", err)
+	}
+	if _, err := New(Config{CheckpointDir: onlineDir, Online: spell.NewStream(spell.Options{})}); err == nil {
+		t.Error("Drain checkpoint accepted by Spell engine")
+	} else if !strings.Contains(err.Error(), `"Drain"`) {
+		t.Errorf("cross-algorithm error = %v", err)
+	}
+}
+
+// TestOnlineRejectsInitialTemplates: the learner owns the template set, so
+// seeding is a configuration error, not a silent merge.
+func TestOnlineRejectsInitialTemplates(t *testing.T) {
+	_, err := New(Config{
+		CheckpointDir:    t.TempDir(),
+		Online:           drain.NewStream(drain.Options{}),
+		InitialTemplates: allocTemplates(),
+	})
+	if err == nil {
+		t.Fatal("Online+InitialTemplates accepted")
+	}
+}
+
+// TestOnlineMatchedPathAllocs pins online mode's steady-state per-line cost
+// at zero allocations, for both learners: once the template set has
+// converged for a line shape, process() — tokenisation, the learner's
+// accelerated match, the count bump, the counters — allocates nothing.
+func TestOnlineMatchedPathAllocs(t *testing.T) {
+	for name, mk := range onlineFactories() {
+		t.Run(name, func(t *testing.T) {
+			eng, err := New(Config{
+				CheckpointDir:   t.TempDir(),
+				CheckpointEvery: -1,
+				Online:          mk(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			warm := []string{
+				"connection from 10.0.0.1 port 1001",
+				"connection from 10.0.0.2 port 1002",
+				"session 17 closed after 40 ms",
+				"session 91 closed after 7 ms",
+			}
+			for i, l := range warm {
+				eng.process(ctx, item{lineNo: int64(i + 1), data: []byte(l)})
+			}
+			matched := item{lineNo: 99, data: []byte("connection from 10.0.0.9 port 1042")}
+			empty := item{lineNo: 99, data: []byte("   \t  ")}
+			for _, tc := range []struct {
+				name string
+				it   item
+			}{{"matched", matched}, {"empty", empty}} {
+				it := tc.it
+				fn := func() { eng.process(ctx, it) }
+				fn() // warm the token buffer and confirm the shape is learned
+				if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+					t.Errorf("%s: %v allocs/op in online process, want 0", tc.name, allocs)
+				}
+			}
+			before := eng.Stats().Templates
+			eng.process(ctx, item{lineNo: 100, data: []byte("connection from 10.0.0.8 port 77")})
+			if eng.Stats().Templates != before {
+				t.Fatal("warm line still grows the template set")
+			}
+		})
+	}
+}
+
+// TestOnlineDigestMatchesBatchParse: the engine's online result over a
+// source equals a batch Parse of the same content — the engine adds
+// durability machinery around the learner without changing what it learns.
+func TestOnlineDigestMatchesBatchParse(t *testing.T) {
+	lines := synthLines(1200, 13)
+	eng := runOnline(t, t.TempDir(), lines, drain.NewStream(drain.Options{}), 0, -1)
+	tmpls, counts := eng.Result()
+
+	msgs := make([]core.LogMessage, len(lines))
+	for i, l := range lines {
+		msgs[i] = core.LogMessage{LineNo: i + 1, Content: l, Tokens: core.Tokenize(l)}
+	}
+	res, err := drain.New(drain.Options{}).Parse(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchCounts := make([]int64, len(res.Templates))
+	for _, a := range res.Assignment {
+		if a >= 0 {
+			batchCounts[a]++
+		}
+	}
+	if got, want := Digest(tmpls, counts), Digest(res.Templates, batchCounts); got != want {
+		t.Fatalf("engine digest %s != batch parse digest %s", got, want)
+	}
+}

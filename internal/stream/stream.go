@@ -121,8 +121,19 @@ type Config struct {
 	// shed and counted (default 4×RetrainBatch).
 	MaxUnmatched int
 	// Retrainer mines templates from a batch of unmatched lines. Defaults
-	// to NewRetrainer with no primary tier (SLCT-stream only).
+	// to NewRetrainer with no primary tier (SLCT-stream only). Ignored when
+	// Online is set.
 	Retrainer Retrainer
+	// Online, when non-nil, switches the engine to online-parser mode: the
+	// parser learns in place on the hot path — every line is assigned to a
+	// group immediately (no unmatched buffer, no retrain cycle, no breaker
+	// traffic) and the learner's serialised state travels inside each
+	// checkpoint, so kill-and-recover replays converge to the digest of an
+	// uninterrupted run. The engine owns the instance (learners are not
+	// safe for concurrent use); multi-tenant callers construct one per
+	// engine (server.Config.NewOnline). Mutually exclusive with
+	// InitialTemplates.
+	Online OnlineParser
 	// RetrainTimeout bounds one retrain attempt (0 = none). A timed-out
 	// retrain counts as a failure toward the breaker.
 	RetrainTimeout time.Duration
@@ -249,6 +260,9 @@ type Stats struct {
 	Templates int
 	// Breaker is the retrain breaker state: "closed", "open", "half-open".
 	Breaker string
+	// OnlineParser is the online parser's algorithm name in online-parser
+	// mode, empty in retrain mode.
+	OnlineParser string
 	// RingDepth and RingHighWater report the admission ring's current and
 	// maximum occupancy — memory is bounded by RingCapacity regardless of
 	// how far the producer runs ahead.

@@ -3,12 +3,19 @@
 // Evaluation Study on Log Parsing and Its Use in Log Mining" (He, Zhu, He,
 // Li, Lyu — DSN 2016).
 //
-// The toolkit packages four widely used log parsers behind one interface:
+// The toolkit packages six widely used log parsers behind one interface:
 //
 //   - SLCT   (Vaarandi, IPOM 2003) — frequent-word clustering
 //   - IPLoM  (Makanju et al., KDD 2009) — iterative hierarchical partitioning
 //   - LKE    (Fu et al., ICDM 2009) — weighted-edit-distance clustering
 //   - LogSig (Tang et al., CIKM 2011) — message-signature local search
+//   - Drain  (He et al., ICWS 2017) — fixed-depth prefix-tree clustering
+//   - Spell  (Du & Li, ICDM 2016) — LCS-based streaming template extraction
+//
+// Drain and Spell are streaming-native: besides the batch Parse surface
+// they expose online learners (see NewOnlineParser in streaming.go) that
+// the stream engine runs directly on its ingest hot path, learning
+// per-line with no retrain cycle.
 //
 // plus the five evaluation datasets of the paper (as synthetic generators
 // with exact ground truth), pairwise F-measure scoring, preprocessing
@@ -42,10 +49,12 @@ import (
 	"strings"
 
 	"logparse/internal/core"
+	"logparse/internal/parsers/drain"
 	"logparse/internal/parsers/iplom"
 	"logparse/internal/parsers/lke"
 	"logparse/internal/parsers/logsig"
 	"logparse/internal/parsers/slct"
+	"logparse/internal/parsers/spell"
 )
 
 // Core model types, re-exported from the toolkit's data model.
@@ -108,6 +117,15 @@ type Options struct {
 	MaxIterations int
 	Restarts      int
 
+	// Depth, SimThreshold and MaxChildren configure Drain's prefix tree
+	// (tree depth, leaf similarity threshold, per-node fan-out cap).
+	Depth        int
+	SimThreshold float64
+	MaxChildren  int
+
+	// Tau is Spell's LCS acceptance threshold in (0,1].
+	Tau float64
+
 	// Telemetry, when non-nil, instruments the built parser with stage
 	// spans, parse counters and duration histograms (see NewTelemetry).
 	// Nil — the zero value — leaves the parser uninstrumented at zero
@@ -115,8 +133,9 @@ type Options struct {
 	Telemetry *Telemetry
 }
 
-// Algorithms lists the available parser names in the paper's order.
-func Algorithms() []string { return []string{"SLCT", "IPLoM", "LKE", "LogSig"} }
+// Algorithms lists the available parser names: the paper's four in its
+// order, then the streaming-native additions.
+func Algorithms() []string { return []string{"SLCT", "IPLoM", "LKE", "LogSig", "Drain", "Spell"} }
 
 // NewParser builds a parser by algorithm name (case-insensitive).
 func NewParser(algorithm string, opts Options) (Parser, error) {
@@ -157,6 +176,18 @@ func NewParser(algorithm string, opts Options) (Parser, error) {
 			Seed:          opts.Seed,
 			Restarts:      opts.Restarts,
 			Telemetry:     opts.Telemetry,
+		}), nil
+	case "drain":
+		return drain.New(drain.Options{
+			Depth:        opts.Depth,
+			SimThreshold: opts.SimThreshold,
+			MaxChildren:  opts.MaxChildren,
+			Telemetry:    opts.Telemetry,
+		}), nil
+	case "spell":
+		return spell.New(spell.Options{
+			Tau:       opts.Tau,
+			Telemetry: opts.Telemetry,
 		}), nil
 	default:
 		return nil, fmt.Errorf("logparse: unknown algorithm %q (want one of %s)",

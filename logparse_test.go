@@ -8,7 +8,7 @@ import (
 
 func TestAlgorithms(t *testing.T) {
 	algos := Algorithms()
-	if len(algos) != 4 {
+	if len(algos) != 6 {
 		t.Fatalf("algorithms = %v", algos)
 	}
 	for _, a := range algos {
@@ -37,8 +37,14 @@ func TestNewParserErrors(t *testing.T) {
 
 func TestDatasets(t *testing.T) {
 	names := Datasets()
-	if len(names) != 5 {
+	if len(names) != 8 {
 		t.Fatalf("datasets = %v", names)
+	}
+	want := []string{"BGL", "HPC", "Proxifier", "HDFS", "Zookeeper"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("paper datasets must lead the list: got %v", names)
+		}
 	}
 	for _, n := range names {
 		cat, err := Dataset(n)

@@ -3,9 +3,9 @@
 # benchmarks and write a committable JSON snapshot (lines/sec, allocs/op,
 # ckpt-B/op per benchmark) so throughput can be tracked PR over PR.
 #
-#   scripts/bench_snapshot.sh [OUT.json]     default OUT: BENCH_PR9.json
+#   scripts/bench_snapshot.sh [OUT.json]     default OUT: BENCH_PR10.json
 #
-# LABEL sets the label recorded in the document (default pr9-eventstore).
+# LABEL sets the label recorded in the document (default pr10-online-parsers).
 # Benchmarks run three iterations each (-benchtime=3x): one iteration is
 # hostage to scheduler noise on shared runners and still carries one-time
 # warm-up allocations; three average that out while staying cheap enough
@@ -16,16 +16,16 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR9.json}"
-LABEL="${LABEL:-pr9-eventstore}"
+OUT="${1:-BENCH_PR10.json}"
+LABEL="${LABEL:-pr10-online-parsers}"
 BENCHTIME="${BENCHTIME:-3x}"
 
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
 
-echo "==> go test -bench 'BenchmarkStream(Ingest|PushBatch)' ./internal/stream (benchtime $BENCHTIME)"
-go test -run '^$' -bench '^BenchmarkStreamIngest$|^BenchmarkStreamIngestTelemetry$|^BenchmarkStreamIngestEventStore$|^BenchmarkStreamPushBatch$|^BenchmarkStreamPushBatchWAL$' \
+echo "==> go test -bench 'BenchmarkStream(Ingest|PushBatch)|Benchmark(Drain|Spell)Ingest' ./internal/stream (benchtime $BENCHTIME)"
+go test -run '^$' -bench '^BenchmarkStreamIngest$|^BenchmarkStreamIngestTelemetry$|^BenchmarkStreamIngestEventStore$|^BenchmarkStreamPushBatch$|^BenchmarkStreamPushBatchWAL$|^BenchmarkDrainIngest$|^BenchmarkSpellIngest$' \
 	-benchtime "$BENCHTIME" ./internal/stream | tee "$work/bench.txt"
 
 echo "==> go test -bench BenchmarkServerLoopback ./internal/server (benchtime $BENCHTIME)"

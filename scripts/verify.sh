@@ -78,7 +78,8 @@ go run ./cmd/conformgen -check >/dev/null
 # corpora plus 5 seconds of fresh coverage-guided inputs each. A failure
 # writes the crasher to internal/conform/testdata/fuzz/<target>/.
 for target in FuzzTokenize FuzzTokenizeBytesEquivalence FuzzReadMessages FuzzHeaderDetect \
-	FuzzParseSmallSLCT FuzzParseSmallIPLoM FuzzParseSmallLKE FuzzParseSmallLogSig; do
+	FuzzParseSmallSLCT FuzzParseSmallIPLoM FuzzParseSmallLKE FuzzParseSmallLogSig \
+	FuzzDrainInsert FuzzSpellLCS; do
 	echo "==> go test -fuzz=$target -fuzztime=5s ./internal/conform"
 	go test ./internal/conform -run '^$' -fuzz "^${target}\$" -fuzztime=5s >/dev/null
 done

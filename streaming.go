@@ -11,8 +11,13 @@ package logparse
 // that degrades retraining to matcher-only service under repeated failure.
 
 import (
+	"fmt"
+	"strings"
+
 	"logparse/internal/core"
+	"logparse/internal/parsers/drain"
 	"logparse/internal/parsers/slct"
+	"logparse/internal/parsers/spell"
 	"logparse/internal/stream"
 )
 
@@ -30,6 +35,9 @@ type (
 	StreamBreakerConfig = stream.BreakerConfig
 	// StreamRetrainer mines templates from batches of unmatched lines.
 	StreamRetrainer = stream.Retrainer
+	// StreamOnlineParser is a learn-per-line parser the engine can run on
+	// its hot path instead of the match/buffer/retrain cycle.
+	StreamOnlineParser = stream.OnlineParser
 	// StreamCheckpointState is the persisted checkpoint payload.
 	StreamCheckpointState = stream.State
 	// StreamCorruptError reports an untrustworthy checkpoint file.
@@ -75,6 +83,32 @@ func NewStreamRetrainer(primary string, opts Options, pol RobustPolicy) (StreamR
 		Support:     opts.Support,
 		SupportFrac: opts.SupportFrac,
 	}})
+}
+
+// NewOnlineParser builds the online learner for a streaming-native
+// algorithm ("Drain" or "Spell", case-insensitive), configured from the
+// same Options the batch facade reads. Assign it to StreamConfig.Online:
+// the engine then learns in place on the hot path and checkpoints the
+// learner's state alongside the template counts, so kill-and-recover runs
+// converge to an uninterrupted run's digest. Each engine needs its own
+// instance — learners are not safe for concurrent use.
+func NewOnlineParser(algorithm string, opts Options) (StreamOnlineParser, error) {
+	switch strings.ToLower(algorithm) {
+	case "drain":
+		return drain.NewStream(drain.Options{
+			Depth:        opts.Depth,
+			SimThreshold: opts.SimThreshold,
+			MaxChildren:  opts.MaxChildren,
+			Telemetry:    opts.Telemetry,
+		}), nil
+	case "spell":
+		return spell.NewStream(spell.Options{
+			Tau:       opts.Tau,
+			Telemetry: opts.Telemetry,
+		}), nil
+	default:
+		return nil, fmt.Errorf("logparse: no online learner for %q (want Drain or Spell)", algorithm)
+	}
 }
 
 // StreamDigest is the canonical digest of a streaming run's outcome (sorted

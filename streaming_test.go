@@ -60,3 +60,51 @@ func TestStreamRetrainerRejectsUnknownPrimary(t *testing.T) {
 		t.Fatal("unknown primary algorithm should fail")
 	}
 }
+
+func TestStreamEngineOnlineFacadeEndToEnd(t *testing.T) {
+	cat, err := logparse.Dataset("HDFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := logparse.WriteMessages(&buf, cat.Generate(3, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	for _, algo := range []string{"Drain", "Spell"} {
+		online, err := logparse.NewOnlineParser(algo, logparse.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := logparse.NewStreamEngine(logparse.StreamConfig{
+			Open: func() (io.ReadCloser, error) {
+				return io.NopCloser(bytes.NewReader(data)), nil
+			},
+			CheckpointDir:   t.TempDir(),
+			CheckpointEvery: 500,
+			Online:          online,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		s := eng.Stats()
+		if s.Processed != 2000 || s.Templates == 0 || s.Matched != s.Processed-s.Empty {
+			t.Fatalf("%s online run: %+v", algo, s)
+		}
+		if s.OnlineParser != algo {
+			t.Fatalf("Stats.OnlineParser = %q, want %s", s.OnlineParser, algo)
+		}
+	}
+}
+
+func TestNewOnlineParserRejectsBatchOnlyAlgorithms(t *testing.T) {
+	for _, algo := range []string{"SLCT", "IPLoM", "LKE", "LogSig", "nope"} {
+		if _, err := logparse.NewOnlineParser(algo, logparse.Options{}); err == nil {
+			t.Errorf("NewOnlineParser(%s) accepted", algo)
+		}
+	}
+}
